@@ -1,0 +1,25 @@
+"""Fig. 10 / Table VII: scheduling efficiency (utilization, wait,
+bounded slowdown) across four cluster scales for every RM available at
+each scale, plus the ESLURM attribution ablations."""
+
+from benchmarks.conftest import FULL
+from repro.experiments.fig10 import render_fig10, run_fig10
+
+
+def test_fig10(once):
+    scale = 1.0 if FULL else 0.125
+    days = 7.0 if FULL else 2.0
+    r = once(run_fig10, scale=scale, horizon_days=days, with_attribution=True)
+    print()
+    print(render_fig10(r))
+
+    by_scale: dict[int, dict[str, object]] = {}
+    for (n, rm), m in r.metrics.items():
+        by_scale.setdefault(n, {})[rm] = m
+    largest = max(by_scale)
+    at_top = by_scale[largest]
+    # paper's headline: ESLURM beats Slurm on utilization at full scale
+    assert at_top["eslurm"].utilization > at_top["slurm"].utilization
+    # attribution: the estimation framework contributes positively
+    assert r.attribution["eslurm-full"] >= r.attribution["eslurm-no-estimator"] - 0.01
+    assert r.attribution["eslurm-full"] > r.attribution["slurm"]

@@ -1,0 +1,21 @@
+"""Fig. 5: workload-trace statistics (estimate-accuracy CDF, correlation
+decay vs submission interval and job-ID gap) for both system profiles."""
+
+from benchmarks.conftest import FULL
+from repro.experiments.fig5 import render_fig5, run_fig5
+
+
+def test_fig5(once):
+    results = once(run_fig5, n_jobs=40_000 if FULL else 10_000, seed=1)
+    print()
+    print(render_fig5(results))
+    for system, r in results.items():
+        # Fig. 5a: 80-90% of estimates are overestimates
+        assert 0.75 <= r.overestimate_frac <= 0.95, system
+        # Fig. 5b: correlation decays with interval
+        assert r.interval_corr[0] > r.interval_corr[-2]
+        # Fig. 5c: correlation decays with ID gap towards a small floor
+        assert r.id_gap_corr[0] > r.id_gap_corr[-1]
+        assert 0.0 < r.id_gap_corr[-1] < 0.25
+    # mature machine keeps a higher long-interval floor than the young one
+    assert results["tianhe2a"].interval_corr[-1] > results["ng-tianhe"].interval_corr[-1]

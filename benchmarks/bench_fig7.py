@@ -1,0 +1,33 @@
+"""Fig. 7: six RMs on (4K-scale) Tianhe-2A — master resource usage over
+24 h and job occupation time vs job size."""
+
+from benchmarks.conftest import FULL
+from repro.experiments.fig7 import render_fig7, run_fig7
+
+
+def test_fig7(once):
+    n_nodes = 4096 if FULL else 1024
+    sizes = (64, 256, 1024, 4096) if FULL else (64, 256, 1024)
+    results = once(
+        run_fig7, n_nodes=n_nodes, n_jobs=1000 if FULL else 300, job_sizes=sizes
+    )
+    print()
+    print(render_fig7(results))
+
+    m = {rm: r.master for rm, r in results.items()}
+    # Fig 7a/b: ESLURM incurs the lowest CPU cost; Slurm next among the rest
+    assert m["eslurm"]["cpu_time_min"] == min(v["cpu_time_min"] for v in m.values())
+    assert m["slurm"]["cpu_time_min"] < m["sge"]["cpu_time_min"]
+    # Fig 7c: Slurm has the highest vmem; ESLURM far lower
+    assert m["slurm"]["vmem_mb"] == max(v["vmem_mb"] for v in m.values())
+    assert m["eslurm"]["vmem_mb"] < 0.3 * m["slurm"]["vmem_mb"]
+    # Fig 7d: ESLURM lowest real memory
+    assert m["eslurm"]["rss_mb"] == min(v["rss_mb"] for v in m.values())
+    # Fig 7e: SGE/OpenPBS hold standing connection armies; ESLURM <100
+    assert m["sge"]["sockets_mean"] > 0.9 * n_nodes
+    assert m["eslurm"]["sockets_mean"] < 100
+    assert m["eslurm"]["sockets_peak"] < 100
+    # Fig 7f: PBS-family occupation explodes with size; ESLURM stays ~flat
+    big = max(results["eslurm"].occupation_by_size)
+    assert results["sge"].occupation_by_size[big] > 10 * results["eslurm"].occupation_by_size[big]
+    assert results["eslurm"].occupation_by_size[big] < 15.0  # paper: always < 15 s

@@ -1,0 +1,32 @@
+"""Fig. 8: broadcast-time comparisons — ESLURM vs Slurm (a) and the five
+communication structures across failure ratios (b)."""
+
+from benchmarks.conftest import FULL
+from repro.experiments.fig8 import FAILURE_RATIOS, render_fig8, run_fig8a, run_fig8b
+
+
+def test_fig8(once):
+    n_nodes = 4096 if FULL else 2048
+
+    def run_both():
+        return run_fig8a(n_nodes=n_nodes), run_fig8b(n_nodes=n_nodes)
+
+    a, b = once(run_both)
+    print()
+    print(render_fig8(a, b))
+
+    # Fig 8a: ESLURM cuts both message types' broadcast time vs Slurm
+    for msg in ("job_load", "job_term"):
+        assert a.reduction_vs("slurm", "eslurm", msg) > 0.25
+        # the FP-Tree supplies a substantial share of the cut
+        assert a.reduction_vs("eslurm-nofp", "eslurm", msg) > 0.1
+    # Fig 8b: ring/star/tree blow up with the failure ratio...
+    for name in ("ring", "star", "tree"):
+        assert b[name][-1] > 5 * max(b[name][0], 1e-6)
+    # ... shared memory stays flat ...
+    assert abs(b["shared-memory"][-1] - b["shared-memory"][0]) < 0.1
+    # ... and the FP-Tree stays in the ~10 s range even at 30% failures
+    # (paper: < 10 s; the quick-mode cluster is below the calibration size)
+    assert b["fp-tree"][-1] < (10.0 if FULL else 16.0)
+    assert b["fp-tree"][-1] < b["tree"][-1]
+    assert b["ring"][-1] > 60.0  # "a delay of minutes"

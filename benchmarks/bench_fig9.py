@@ -1,0 +1,23 @@
+"""Fig. 9: Slurm vs ESLURM on full-scale Tianhe-2A (16K nodes), master
+and satellite resource usage over 24 h."""
+
+from benchmarks.conftest import FULL
+from repro.experiments.fig9 import render_fig9, run_fig9
+
+
+def test_fig9(once):
+    n_nodes = 16_384 if FULL else 4096
+    r = once(run_fig9, n_nodes=n_nodes, n_jobs=1500 if FULL else 400)
+    print()
+    print(render_fig9(r))
+
+    slurm, eslurm = r.master["slurm"], r.master["eslurm"]
+    # paper: ESLURM uses <40% of Slurm's master CPU time
+    assert eslurm["cpu_time_min"] < 0.4 * slurm["cpu_time_min"]
+    # paper: >80% memory saving at 16K (relaxed slightly at reduced scale)
+    assert eslurm["vmem_mb"] < 0.3 * slurm["vmem_mb"]
+    assert eslurm["rss_mb"] < 0.3 * slurm["rss_mb"]
+    # paper: >10x fewer concurrent sockets (Slurm can exceed 1000)
+    assert eslurm["sockets_peak"] * 10 < slurm["sockets_peak"]
+    # Fig 9d-f: the two satellites stay balanced
+    assert r.satellite_balance < 1.2

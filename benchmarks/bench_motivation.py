@@ -1,0 +1,29 @@
+"""Section II-B: the production observations motivating ESLURM —
+centralized Slurm at 20K+ nodes versus the deployed ESLURM."""
+
+from benchmarks.conftest import FULL
+from repro.experiments.motivation import render_motivation, run_motivation
+
+
+def test_motivation(once):
+    n_nodes = 20_480 if FULL else 8192
+    days = 2.0 if FULL else 1.0
+
+    def run_both():
+        return (
+            run_motivation("slurm", n_nodes=n_nodes, days=days),
+            run_motivation("eslurm", n_nodes=n_nodes, days=days),
+        )
+
+    slurm, eslurm = once(run_both)
+    print()
+    print(render_motivation([slurm, eslurm]))
+
+    # Slurm's vmem at this scale runs to tens of GB and keeps growing
+    assert slurm.vmem_gb_end > 10.0
+    assert slurm.vmem_gb_per_week > 0.5
+    # ESLURM answers quickly (paper: <1s) while Slurm lags
+    assert eslurm.response_time_s < 1.0
+    assert slurm.response_time_s > eslurm.response_time_s
+    # connection pressure: Slurm's peak sockets dwarf ESLURM's
+    assert slurm.peak_sockets > 50 * max(eslurm.peak_sockets, 1.0)

@@ -1,0 +1,29 @@
+"""Tables V & VI: ESLURM on full-scale NG-Tianhe with 10..50 satellites
+(SE1..SE5) — master usage and averaged satellite operational data."""
+
+from benchmarks.conftest import FULL
+from repro.experiments.tables import render_table5_table6, run_table5_table6
+
+
+def test_table5_table6(once):
+    n_nodes = 20_480 if FULL else 5120
+    setups = (10, 20, 30, 40, 50) if FULL else (4, 8, 12, 16, 20)
+    r = once(run_table5_table6, n_nodes=n_nodes, setups=setups, n_jobs=800 if FULL else 300)
+    print()
+    print(render_table5_table6(r))
+
+    order = sorted(r.master)
+    # Table V: more satellites -> more master traffic (sockets/CPU rise)
+    assert r.master[order[-1]]["sockets_mean"] > r.master[order[0]]["sockets_mean"]
+    assert r.master[order[-1]]["cpu_time_min"] >= r.master[order[0]]["cpu_time_min"]
+    # Table VI: per-task node share shrinks as the pool grows...
+    assert (
+        r.satellites[order[-1]]["avg_nodes_per_task"]
+        < r.satellites[order[0]]["avg_nodes_per_task"]
+    )
+    # ...and so does the satellites' own footprint
+    assert r.satellites[order[-1]]["rss_mb"] <= r.satellites[order[0]]["rss_mb"] + 1.0
+    assert (
+        r.satellites[order[-1]]["sockets_mean"]
+        <= r.satellites[order[0]]["sockets_mean"] + 1.0
+    )

@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one of the paper's tables or figures and prints
+it (run with ``-s`` to see the output).  Runs default to scaled-down
+cluster sizes so the whole suite finishes in minutes; set
+``REPRO_FULL=1`` to run at the paper's full scales (hours).
+"""
+
+import os
+
+import pytest
+
+#: full-scale mode (paper sizes) vs quick mode
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Job-runtime estimation: the ESLURM framework against its rivals.
+
+Generates an NG-Tianhe-profile synthetic trace (calibrated to the
+paper's Fig. 5 statistics), replays it through each estimator in causal
+order (models only ever learn from jobs that have already completed),
+and scores everyone with the paper's Eq. 4/5 metrics: average
+estimation accuracy (AEA) and underestimation rate (UR).
+
+Run:  python examples/runtime_estimation.py
+"""
+
+import numpy as np
+
+from repro.estimate import (
+    EslurmEstimator,
+    EstimatorConfig,
+    Last2Estimator,
+    PrepEstimator,
+    TripEstimator,
+    UserEstimator,
+    evaluate_estimator,
+    svm_estimator,
+)
+from repro.workload import WorkloadConfig, generate_trace
+
+N_JOBS = 2500
+SEED = 2
+
+
+def main() -> None:
+    jobs = generate_trace(
+        WorkloadConfig.ng_tianhe(jobs_per_day=1000.0), N_JOBS, seed=SEED
+    )
+    over = np.mean(
+        [j.user_estimate_s > j.runtime_s for j in jobs if j.user_estimate_s]
+    )
+    print(f"trace: {N_JOBS} jobs, {over:.0%} of user estimates are overestimates\n")
+
+    estimators = [
+        UserEstimator(),
+        Last2Estimator(),
+        svm_estimator(),
+        TripEstimator(),
+        PrepEstimator(),
+        EslurmEstimator(
+            EstimatorConfig(aea_gate=0.0, k_clusters=150),
+            rng=np.random.default_rng(SEED),
+        ),
+    ]
+    print(f"{'model':<14} {'AEA':>6} {'UR':>6} {'MAE(s)':>9}")
+    for est in estimators:
+        rep = evaluate_estimator(est, jobs, warmup=200)
+        print(
+            f"{rep.name:<14} {rep.aea:6.1%} {rep.underestimate_rate:6.1%} "
+            f"{rep.mean_abs_error_s:9.0f}"
+        )
+    print(
+        "\nESLURM clusters the recent history (K-means++ on hashed job\n"
+        "name/user + size/time features), trains one SVR per cluster, and\n"
+        "pads predictions by the per-cluster residual spread plus the\n"
+        "slack alpha — accuracy close to the per-app oracle with a far\n"
+        "lower underestimation rate than any recency heuristic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scaling study: what breaks a centralized RM as the machine grows.
+
+Runs Slurm and ESLURM at three cluster sizes for a day each and prints
+the trends the paper's Sections II-B and VII are about: master CPU and
+memory growth, connection pressure, and user-request response times.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.cluster import ClusterSpec
+from repro.experiments.harness import build_rm
+from repro.experiments.reporting import render_table
+from repro.simkit import Simulator
+from repro.workload import WorkloadConfig, generate_trace
+
+SIZES = (1024, 4096, 8192)
+HORIZON = 86_400.0
+SEED = 5
+
+
+def run_one(rm_name: str, n_nodes: int):
+    sim = Simulator(seed=SEED)
+    cluster = ClusterSpec.tianhe2a(n_nodes=n_nodes, n_satellites=2).build(sim)
+    rm = build_rm(rm_name, cluster, sample_interval_s=300.0)
+    workload = WorkloadConfig.tianhe2a(max_nodes=n_nodes // 4, jobs_per_day=400.0)
+    jobs = generate_trace(workload, 400, seed=SEED, start_time=1.0)
+    rm.run_trace(
+        [j for j in jobs if j.submit_time < HORIZON * 0.9], until=HORIZON
+    )
+    m = rm.master_acct.summary()
+    return [
+        rm_name,
+        n_nodes,
+        m["cpu_time_min"],
+        m["vmem_mb"] / 1024.0,
+        m["sockets_peak"],
+        rm.estimated_response_time(),
+    ]
+
+
+def main() -> None:
+    rows = []
+    for n in SIZES:
+        for rm_name in ("slurm", "eslurm"):
+            rows.append(run_one(rm_name, n))
+    print(
+        render_table(
+            ["RM", "nodes", "cpu_min/day", "vmem_GB", "peak_sockets", "resp_s"],
+            rows,
+            title="Master-node scaling, 24h of identical workload",
+        )
+    )
+    print(
+        "\nSlurm's master footprint grows with every node it manages;\n"
+        "ESLURM's master only ever talks to its satellites, so the curves\n"
+        "stay flat — which is the whole argument of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

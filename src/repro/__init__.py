@@ -1,0 +1,55 @@
+"""ESLURM reproduction library.
+
+A full reimplementation-as-simulation of the SC 2022 paper
+*Towards Scalable Resource Management for Supercomputers* (Dai et al.):
+a hierarchical HPC resource manager (master + satellite + slave nodes),
+a failure-prediction-based broadcast tree (FP-Tree), and a
+machine-learning job-runtime-estimation framework, together with the
+substrates they need (discrete-event kernel, cluster model, network
+fabric, schedulers, calibrated workload generators) and the benchmark
+harness that regenerates every table and figure in the paper.
+
+Quick start::
+
+    from repro import quick_cluster, EslurmRM, run_rm_day
+
+    cluster = quick_cluster(n_nodes=1024, seed=7)
+    report = run_rm_day(EslurmRM, cluster, n_jobs=500, seed=7)
+    print(report.summary())
+
+Top-level names are loaded lazily so that ``import repro.simkit`` does
+not pull in the whole library.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._version import __version__
+
+__all__ = [
+    "__version__",
+    "quick_cluster",
+    "run_rm_day",
+    "CentralizedRM",
+    "EslurmRM",
+    "RM_PROFILES",
+]
+
+_LAZY: dict[str, tuple[str, str]] = {
+    "quick_cluster": ("repro.experiments.harness", "quick_cluster"),
+    "run_rm_day": ("repro.experiments.harness", "run_rm_day"),
+    "CentralizedRM": ("repro.rm.centralized", "CentralizedRM"),
+    "EslurmRM": ("repro.rm.eslurm", "EslurmRM"),
+    "RM_PROFILES": ("repro.rm.profiles", "RM_PROFILES"),
+}
+
+
+def __getattr__(name: str) -> t.Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,144 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+Installed as ``repro-eslurm``::
+
+    repro-eslurm list
+    repro-eslurm fig7 --quick
+    repro-eslurm fig10
+    repro-eslurm all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as t
+
+
+def _fig5(quick: bool) -> str:
+    from repro.experiments.fig5 import render_fig5, run_fig5
+
+    return render_fig5(run_fig5(n_jobs=8_000 if quick else 40_000))
+
+
+def _fig7(quick: bool) -> str:
+    from repro.experiments.fig7 import render_fig7, run_fig7
+
+    return render_fig7(
+        run_fig7(n_nodes=1024 if quick else 4096, n_jobs=300 if quick else 1000,
+                 job_sizes=(64, 256, 1024) if quick else (64, 256, 1024, 4096))
+    )
+
+
+def _fig8(quick: bool) -> str:
+    from repro.experiments.fig8 import render_fig8, run_fig8a, run_fig8b
+
+    n = 2048 if quick else 4096
+    return render_fig8(run_fig8a(n_nodes=n), run_fig8b(n_nodes=n))
+
+
+def _fig9(quick: bool) -> str:
+    from repro.experiments.fig9 import render_fig9, run_fig9
+
+    return render_fig9(run_fig9(n_nodes=4096 if quick else 16_384,
+                                n_jobs=400 if quick else 1500))
+
+
+def _fig10(quick: bool) -> str:
+    from repro.experiments.fig10 import render_fig10, run_fig10
+
+    return render_fig10(
+        run_fig10(scale=0.125 if quick else 1.0, horizon_days=2.0 if quick else 7.0,
+                  with_attribution=True)
+    )
+
+
+def _fig11(quick: bool) -> str:
+    from repro.experiments.fig11 import render_fig11, run_fig11a, run_fig11b
+
+    a = run_fig11a(n_nodes=5120 if quick else 20_480,
+                   counts=(2, 5, 10, 20, 30) if quick else (5, 10, 20, 30, 40, 50))
+    b = run_fig11b(n_jobs=2500 if quick else 4000, fast=quick)
+    return render_fig11(a, b)
+
+
+def _table5(quick: bool) -> str:
+    from repro.experiments.tables import render_table5_table6, run_table5_table6
+
+    return render_table5_table6(
+        run_table5_table6(n_nodes=5120 if quick else 20_480,
+                          setups=(4, 8, 12, 16, 20) if quick else (10, 20, 30, 40, 50),
+                          n_jobs=300 if quick else 800)
+    )
+
+
+def _table8(quick: bool) -> str:
+    from repro.experiments.tables import render_table8, run_table8
+
+    return render_table8(run_table8(n_jobs=2000 if quick else 4000))
+
+
+def _placement(quick: bool) -> str:
+    from repro.experiments.placement import render_placement, run_placement
+
+    return render_placement(
+        run_placement(n_nodes=2048 if quick else 4096,
+                      constructions_per_day=24 if quick else 60)
+    )
+
+
+def _motivation(quick: bool) -> str:
+    from repro.experiments.motivation import render_motivation, run_motivation
+
+    n = 8192 if quick else 20_480
+    days = 1.0 if quick else 2.0
+    return render_motivation(
+        [run_motivation("slurm", n_nodes=n, days=days),
+         run_motivation("eslurm", n_nodes=n, days=days)]
+    )
+
+
+EXPERIMENTS: dict[str, t.Callable[[bool], str]] = {
+    "fig5": _fig5,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "table5": _table5,
+    "table8": _table8,
+    "placement": _placement,
+    "motivation": _motivation,
+}
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eslurm",
+        description="Regenerate the tables and figures of the ESLURM paper (SC'22).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "list"],
+        help="which experiment to run ('list' to enumerate)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down cluster sizes (seconds instead of hours)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"==== {name} ====")
+        print(EXPERIMENTS[name](args.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Failure injection for the cluster substrate.
+
+The paper's production logs motivate three kinds of events, all of which
+this module reproduces:
+
+* *point failures* — independent single-node faults (power, network,
+  memory), modelled with an exponential per-node MTBF;
+* *burst failures* — correlated multi-node events (a switch or a
+  chassis dies), modelled as a Poisson process whose events take out a
+  contiguous block of nodes;
+* *maintenance* — operator-scheduled mass removals, like the >600-node
+  hardware-replacement event the paper reports on day six of the
+  FP-Tree placement experiment.
+
+When the injector decides a node will fail it informs the
+:class:`~repro.cluster.monitoring.HealthMonitor` *before* the failure
+takes effect, which is the hook the FP-Tree's alert-driven failure
+prediction relies on (Section IV-C of the paper).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.cluster.node import NodeState
+from repro.errors import ConfigurationError
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.spec import Cluster
+    from repro.simkit.core import Simulator
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+#: Failure/recovery callback: ``(kind, node_ids, time)``.
+FailureListener = t.Callable[[str, t.Sequence[int], float], None]
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Stochastic failure behaviour of a cluster.
+
+    Defaults are calibrated so a 4K-node cluster sees on the order of a
+    few single-node failures per day with <2 % of nodes down at any
+    time, matching the paper's production observations.
+
+    Args:
+        mtbf_node_hours: per-node mean time between point failures.
+        repair_hours: mean repair/reboot time for a point failure.
+        burst_per_day: expected correlated multi-node events per day.
+        burst_size_mean: mean nodes taken out by one burst.
+        lead_time_s: mean interval between "decision" (when precursor
+            symptoms start, i.e. when the monitor may alert) and the
+            failure itself.
+        enabled: master switch; disabled models inject nothing.
+    """
+
+    mtbf_node_hours: float = 20_000.0
+    repair_hours: float = 4.0
+    burst_per_day: float = 0.1
+    burst_size_mean: float = 32.0
+    lead_time_s: float = 600.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mtbf_node_hours <= 0 or self.repair_hours <= 0:
+            raise ConfigurationError("MTBF and repair time must be positive")
+        if self.burst_per_day < 0 or self.burst_size_mean < 1:
+            raise ConfigurationError("invalid burst parameters")
+        if self.lead_time_s < 0:
+            raise ConfigurationError("lead time cannot be negative")
+
+    @classmethod
+    def disabled(cls) -> "FailureModel":
+        """A model that never injects failures (deterministic runs)."""
+        return cls(enabled=False)
+
+
+@dataclass
+class FailureEvent:
+    """Log record of one injected failure event."""
+
+    time: float
+    kind: str  # "point" | "burst" | "maintenance"
+    node_ids: tuple[int, ...]
+    recover_at: float
+
+
+class FailureInjector:
+    """Drives node failures on a cluster as simulation processes.
+
+    The injector is *not* started automatically: call :meth:`start`
+    once the simulator owns all components, so short deterministic
+    tests pay nothing for it.
+    """
+
+    def __init__(self, sim: "Simulator", cluster: "Cluster", model: FailureModel) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.model = model
+        self.events: list[FailureEvent] = []
+        self._listeners: list[FailureListener] = []
+        self._started = False
+
+    def subscribe(self, listener: FailureListener) -> None:
+        """Register a callback invoked on every failure and recovery."""
+        self._listeners.append(listener)
+
+    def _notify(self, kind: str, node_ids: t.Sequence[int]) -> None:
+        for fn in self._listeners:
+            fn(kind, node_ids, self.sim.now)
+
+    # -- processes -------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the point-failure and burst processes (idempotent)."""
+        if self._started or not self.model.enabled:
+            return
+        self._started = True
+        self.sim.process(self._point_failure_loop(), name="failures.point")
+        if self.model.burst_per_day > 0:
+            self.sim.process(self._burst_loop(), name="failures.burst")
+
+    def _point_failure_loop(self) -> t.Generator:
+        """Aggregate Poisson process over all nodes (rate n / MTBF)."""
+        rng = self.sim.rng.stream("failures.point")
+        n = self.cluster.n_nodes
+        rate_per_s = n / (self.model.mtbf_node_hours * HOUR)
+        while True:
+            yield self.sim.timeout(rng.exponential(1.0 / rate_per_s))
+            node = self.cluster.nodes[int(rng.integers(n))]
+            if not node.responsive:  # already down: skip this draw
+                continue
+            lead = rng.exponential(self.model.lead_time_s)
+            repair = rng.exponential(self.model.repair_hours * HOUR)
+            self._schedule_failure("point", [node.node_id], lead, repair)
+
+    def _burst_loop(self) -> t.Generator:
+        """Correlated failures of a contiguous block of nodes."""
+        rng = self.sim.rng.stream("failures.burst")
+        n = self.cluster.n_nodes
+        rate_per_s = self.model.burst_per_day / DAY
+        while True:
+            yield self.sim.timeout(rng.exponential(1.0 / rate_per_s))
+            size = max(2, int(rng.poisson(self.model.burst_size_mean)))
+            start = int(rng.integers(max(1, n - size)))
+            ids = [i for i in range(start, min(start + size, n))]
+            lead = rng.exponential(self.model.lead_time_s)
+            repair = rng.exponential(self.model.repair_hours * HOUR)
+            self._schedule_failure("burst", ids, lead, repair)
+
+    def _schedule_failure(
+        self, kind: str, node_ids: list[int], lead: float, repair: float
+    ) -> None:
+        """Announce to the monitor now; flip nodes DOWN after ``lead``."""
+        fail_at = self.sim.now + lead
+        recover_at = fail_at + repair
+        self.cluster.monitor.on_failure_scheduled(node_ids, at=fail_at)
+        self.sim.call_at(fail_at, lambda: self._apply(kind, node_ids, recover_at))
+
+    def _apply(self, kind: str, node_ids: list[int], recover_at: float) -> None:
+        actually_failed = []
+        for nid in node_ids:
+            node = self.cluster.node(nid)
+            if node.responsive:
+                node.fail()
+                actually_failed.append(nid)
+        if not actually_failed:
+            return
+        self.cluster.bump_version()
+        self.events.append(
+            FailureEvent(self.sim.now, kind, tuple(actually_failed), recover_at)
+        )
+        self._notify(kind, actually_failed)
+        self.sim.call_at(recover_at, lambda: self._recover(actually_failed))
+
+    def _recover(self, node_ids: list[int]) -> None:
+        recovered = []
+        for nid in node_ids:
+            node = self.cluster.node(nid)
+            if node.state is NodeState.DOWN:
+                node.recover()
+                recovered.append(nid)
+        if recovered:
+            self.cluster.bump_version()
+            self._notify("recover", recovered)
+
+    # -- deterministic scenarios ------------------------------------------
+    def schedule_maintenance(
+        self, at: float, node_ids: t.Sequence[int], duration: float
+    ) -> None:
+        """Operator-style mass removal (the paper's day-6 600-node event)."""
+        ids = list(node_ids)
+        if not ids:
+            raise ConfigurationError("maintenance event needs at least one node")
+        self.cluster.monitor.on_failure_scheduled(ids, at=at)
+        self.sim.call_at(at, lambda: self._apply("maintenance", ids, at + duration))
+
+    # -- statistics ----------------------------------------------------------
+    def failures_injected(self) -> int:
+        """Total node-failures across all events so far."""
+        return sum(len(ev.node_ids) for ev in self.events)

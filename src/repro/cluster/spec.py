@@ -1,0 +1,225 @@
+"""Declarative cluster descriptions and the instantiated cluster.
+
+A :class:`ClusterSpec` is pure configuration — sizes, hardware, topology,
+failure parameters.  Calling :meth:`ClusterSpec.build` on a simulator
+produces a :class:`Cluster`: the live object holding node instances, the
+failure injector, and the health monitor.
+
+Presets mirror the paper's two testbeds::
+
+    ClusterSpec.tianhe2a()            # 16,384 nodes
+    ClusterSpec.tianhe2a(n_nodes=4096)  # the 4K-node partition of Sec. VII-A
+    ClusterSpec.ng_tianhe()           # 20,480 ("20K+") nodes
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.failures import FailureInjector, FailureModel
+from repro.cluster.monitoring import HealthMonitor, MonitoringConfig
+from repro.cluster.node import (
+    MASTER_NODE,
+    NGTIANHE_NODE,
+    TIANHE2A_NODE,
+    HardwareSpec,
+    Node,
+    NodeRole,
+    NodeState,
+)
+from repro.cluster.topology import Topology
+from repro.errors import ClusterError, ConfigurationError
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkit.core import Simulator
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a machine.
+
+    Args:
+        n_nodes: number of *compute* nodes (master/satellites are extra).
+        n_satellites: satellite nodes provisioned for ESLURM (``m`` in
+            Eq. 1 of the paper).  Centralized RMs simply ignore them.
+        compute_hw / master_hw: hardware of compute and master nodes.
+        topology: physical layout.
+        failure_model: stochastic failure behaviour.
+        monitoring: monitoring/diagnostic subsystem parameters.
+        name: label used in reports.
+    """
+
+    n_nodes: int = 1024
+    n_satellites: int = 2
+    compute_hw: HardwareSpec = TIANHE2A_NODE
+    master_hw: HardwareSpec = MASTER_NODE
+    topology: Topology = field(default_factory=Topology)
+    failure_model: FailureModel = field(default_factory=FailureModel)
+    monitoring: MonitoringConfig = field(default_factory=MonitoringConfig)
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError("cluster needs at least one compute node")
+        if self.n_satellites < 0:
+            raise ConfigurationError("satellite count cannot be negative")
+
+    # -- presets -------------------------------------------------------------
+    @classmethod
+    def tianhe2a(cls, n_nodes: int = 16_384, n_satellites: int = 2) -> "ClusterSpec":
+        """The paper's Tianhe-2A testbed (or a partition of it)."""
+        return cls(
+            n_nodes=n_nodes,
+            n_satellites=n_satellites,
+            compute_hw=TIANHE2A_NODE,
+            name=f"tianhe2a-{n_nodes}",
+        )
+
+    @classmethod
+    def ng_tianhe(cls, n_nodes: int = 20_480, n_satellites: int = 20) -> "ClusterSpec":
+        """The Next Generation Tianhe testbed ("20K+" nodes)."""
+        return cls(
+            n_nodes=n_nodes,
+            n_satellites=n_satellites,
+            compute_hw=NGTIANHE_NODE,
+            name=f"ng-tianhe-{n_nodes}",
+        )
+
+    def with_satellites(self, n_satellites: int) -> "ClusterSpec":
+        """Copy of this spec with a different satellite pool size."""
+        return replace(self, n_satellites=n_satellites)
+
+    def build(self, sim: "Simulator") -> "Cluster":
+        """Instantiate the cluster on a simulator."""
+        return Cluster(sim, self)
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.compute_hw.cores
+
+
+class Cluster:
+    """A live cluster: nodes + failure injection + health monitoring.
+
+    Node ids are dense: compute nodes are ``0 .. n_nodes-1``; the master
+    is ``n_nodes``; satellites are ``n_nodes+1 .. n_nodes+n_satellites``.
+    """
+
+    def __init__(self, sim: "Simulator", spec: ClusterSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.topology = spec.topology
+        self.nodes: list[Node] = []
+        for i in range(spec.n_nodes):
+            rack, chassis, board = spec.topology.coordinates(i)
+            self.nodes.append(
+                Node(
+                    node_id=i,
+                    name=f"cn{i:05d}",
+                    role=NodeRole.COMPUTE,
+                    cores=spec.compute_hw.cores,
+                    mem_gb=spec.compute_hw.mem_gb,
+                    rack=rack,
+                    chassis=chassis,
+                    board=board,
+                )
+            )
+        self.master = Node(
+            node_id=spec.n_nodes,
+            name="master",
+            role=NodeRole.MASTER,
+            cores=spec.master_hw.cores,
+            mem_gb=spec.master_hw.mem_gb,
+        )
+        self.satellites: list[Node] = [
+            Node(
+                node_id=spec.n_nodes + 1 + k,
+                name=f"sat{k:02d}",
+                role=NodeRole.SATELLITE,
+                cores=spec.master_hw.cores,
+                mem_gb=spec.master_hw.mem_gb,
+            )
+            for k in range(spec.n_satellites)
+        ]
+        self._by_id: dict[int, Node] = {n.node_id: n for n in self.all_nodes()}
+        self.monitor = HealthMonitor(sim, self, spec.monitoring)
+        self.failures = FailureInjector(sim, self, spec.failure_model)
+        #: bumped on every liveness change; consumers cache broadcast
+        #: evaluations against it (heartbeat rounds at 20K+ nodes).
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Record that node liveness changed (invalidates broadcast caches)."""
+        self.version += 1
+
+    # -- lookup ----------------------------------------------------------
+    def all_nodes(self) -> t.Iterator[Node]:
+        """Every node: compute, then master, then satellites."""
+        yield from self.nodes
+        yield self.master
+        yield from self.satellites
+
+    def node(self, node_id: int) -> Node:
+        """Node by id; raises :class:`ClusterError` for unknown ids."""
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise ClusterError(f"unknown node id {node_id}") from None
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of compute nodes."""
+        return len(self.nodes)
+
+    def compute_ids(self) -> list[int]:
+        return [n.node_id for n in self.nodes]
+
+    # -- state queries -----------------------------------------------------
+    def up_nodes(self) -> list[Node]:
+        """Compute nodes currently allocatable."""
+        return [n for n in self.nodes if n.allocatable]
+
+    def down_ids(self) -> set[int]:
+        """Ids of compute nodes currently DOWN or DRAINED."""
+        return {n.node_id for n in self.nodes if not n.responsive}
+
+    def failed_fraction(self) -> float:
+        """Fraction of compute nodes currently unresponsive."""
+        return len(self.down_ids()) / len(self.nodes)
+
+    def is_responsive(self, node_id: int) -> bool:
+        return self.node(node_id).responsive
+
+    # -- failure control (delegates used heavily by experiments) -----------
+    def fail_nodes(self, node_ids: t.Iterable[int]) -> None:
+        """Force the given compute nodes DOWN (deterministic scenarios)."""
+        for nid in node_ids:
+            self.node(nid).fail()
+        self.bump_version()
+
+    def recover_nodes(self, node_ids: t.Iterable[int]) -> None:
+        for nid in node_ids:
+            self.node(nid).recover()
+        self.bump_version()
+
+    def fail_fraction(self, fraction: float, rng: t.Any = None) -> list[int]:
+        """Fail a random ``fraction`` of compute nodes; returns their ids.
+
+        Used by the Fig. 8b experiment (failure-ratio sweep).  With no
+        ``rng``, the cluster's own seeded stream is used.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ClusterError(f"failure fraction must be in [0, 1], got {fraction}")
+        rng = rng if rng is not None else self.sim.rng.stream("cluster.fail_fraction")
+        k = round(fraction * len(self.nodes))
+        chosen = rng.choice(len(self.nodes), size=k, replace=False) if k else []
+        ids = sorted(int(i) for i in chosen)
+        self.fail_nodes(ids)
+        return ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cluster {self.spec.name}: {self.n_nodes} compute, "
+            f"{len(self.satellites)} satellites>"
+        )

@@ -1,0 +1,64 @@
+"""Exception hierarchy shared across the library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was driven into an invalid state."""
+
+
+class ProcessInterrupt(ReproError):
+    """Raised inside a simulation process that another process interrupted.
+
+    Carries the ``cause`` handed to :meth:`repro.simkit.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or invalid parameters."""
+
+
+class ClusterError(ReproError):
+    """Invalid operation on the cluster substrate (unknown node, bad state...)."""
+
+
+class NetworkError(ReproError):
+    """A network-layer failure that is *not* a simulated link fault."""
+
+
+class BroadcastFailed(ReproError):
+    """A broadcast could not be delivered to one or more targets.
+
+    Attributes:
+        failed: node ids the payload never reached.
+    """
+
+    def __init__(self, failed: tuple[int, ...], message: str = "") -> None:
+        super().__init__(message or f"broadcast failed for {len(failed)} node(s)")
+        self.failed = failed
+
+
+class SchedulingError(ReproError):
+    """The scheduler was asked to do something impossible (e.g. a job
+    larger than the whole machine)."""
+
+
+class EstimationError(ReproError):
+    """The runtime-estimation framework hit an unusable configuration or
+    was queried before any model was trained."""
+
+
+class TraceFormatError(ReproError):
+    """A workload trace file could not be parsed."""

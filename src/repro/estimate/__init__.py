@@ -1,0 +1,59 @@
+"""Job runtime estimation (Section V) and every baseline of Fig. 11b.
+
+The ESLURM framework (:mod:`repro.estimate.framework`) combines:
+
+* unsupervised clustering of a recent-history window (K-means++, elbow
+  method, Section V-A) — :mod:`repro.estimate.kmeans`;
+* one ε-SVR per cluster — :mod:`repro.estimate.svr`;
+* a slack multiplier α penalising underestimation (Eq. 3);
+* per-cluster average-estimation-accuracy (AEA) bookkeeping (Eq. 4/5)
+  that gates whether the model's estimate overrides the user's.
+
+Baselines (:mod:`repro.estimate.baselines`, :mod:`~repro.estimate.irpa`,
+:mod:`~repro.estimate.tobit`, :mod:`~repro.estimate.prep`): user
+estimates, Last-2, a single global SVR ("SVM"), random forest, IRPA
+(RF + SVR + Bayesian ridge ensemble), TRIP (Tobit regression), and PREP
+(path-cluster models).  All models — including the substrate learners in
+:mod:`~repro.estimate.forest` and :mod:`~repro.estimate.ridge` — are
+implemented from scratch on numpy/scipy.
+"""
+
+from repro.estimate.baselines import (
+    Last2Estimator,
+    UserEstimator,
+    WindowedModelEstimator,
+    random_forest_estimator,
+    svm_estimator,
+)
+from repro.estimate.features import FeatureEncoder
+from repro.estimate.forest import RandomForestRegressor
+from repro.estimate.framework import EslurmEstimator, EstimatorConfig
+from repro.estimate.irpa import IrpaEstimator
+from repro.estimate.kmeans import KMeans, elbow_k
+from repro.estimate.metrics import estimation_accuracy, evaluate_estimator
+from repro.estimate.prep import PrepEstimator
+from repro.estimate.ridge import BayesianRidge
+from repro.estimate.svr import SVR
+from repro.estimate.tobit import TobitRegressor, TripEstimator
+
+__all__ = [
+    "FeatureEncoder",
+    "KMeans",
+    "elbow_k",
+    "SVR",
+    "RandomForestRegressor",
+    "BayesianRidge",
+    "TobitRegressor",
+    "UserEstimator",
+    "Last2Estimator",
+    "WindowedModelEstimator",
+    "svm_estimator",
+    "random_forest_estimator",
+    "IrpaEstimator",
+    "TripEstimator",
+    "PrepEstimator",
+    "EslurmEstimator",
+    "EstimatorConfig",
+    "estimation_accuracy",
+    "evaluate_estimator",
+]

@@ -1,0 +1,141 @@
+"""Simple estimation baselines: user estimates, Last-2, and windowed
+batch-model adapters.
+
+* :class:`UserEstimator` — pass the user's own wall-time request
+  through (the "User" series of Fig. 11b: low accuracy, ~0 UR);
+* :class:`Last2Estimator` — Tsafrir et al.'s system-generated
+  prediction: the mean of the same user's last two actual runtimes;
+* :class:`WindowedModelEstimator` — adapts any batch ``fit/predict``
+  regressor (SVR, random forest, ...) to the online protocol by
+  refitting on a sliding history window every N observations; this is
+  how the "SVM" and "RandomForest" rows of Fig. 11b are produced.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import deque
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.estimate.features import FeatureEncoder
+from repro.sched.job import Job
+
+
+class UserEstimator:
+    """Echo the user-submitted estimate."""
+
+    name = "user"
+
+    def estimate(self, job: Job, now: float) -> float | None:
+        return job.user_estimate_s
+
+    def observe(self, job: Job, now: float) -> None:  # noqa: D401 - nothing to learn
+        """User estimates do not learn."""
+
+
+class Last2Estimator:
+    """Mean of the same user's last two actual runtimes [Tsafrir 2007]."""
+
+    name = "last-2"
+
+    def __init__(self) -> None:
+        self._history: dict[str, deque[float]] = {}
+
+    def estimate(self, job: Job, now: float) -> float | None:
+        past = self._history.get(job.user)
+        if not past:
+            return job.user_estimate_s  # fall back before any history
+        return float(np.mean(past))
+
+    def observe(self, job: Job, now: float) -> None:
+        self._history.setdefault(job.user, deque(maxlen=2)).append(job.runtime_s)
+
+
+class _BatchModel(t.Protocol):
+    def fit(self, X: np.ndarray, y: np.ndarray) -> t.Any: ...  # pragma: no cover
+    def predict(self, X: np.ndarray) -> np.ndarray: ...  # pragma: no cover
+
+
+class WindowedModelEstimator:
+    """Online adapter around a batch regressor.
+
+    Keeps a sliding window of completed jobs; refits the model every
+    ``refit_every`` observations.  Targets are learned in log-space
+    (runtimes are heavy-tailed) and predictions clamped positive.
+
+    Args:
+        model_factory: builds a fresh regressor for each refit.
+        name: report label.
+        window: history size (jobs).
+        refit_every: observations between refits.
+        min_history: observations required before the first fit.
+    """
+
+    def __init__(
+        self,
+        model_factory: t.Callable[[], _BatchModel],
+        name: str,
+        window: int = 700,
+        refit_every: int = 50,
+        min_history: int = 30,
+    ) -> None:
+        if window < min_history or min_history < 2:
+            raise EstimationError("window must hold at least min_history >= 2 jobs")
+        self.name = name
+        self.model_factory = model_factory
+        self.window = window
+        self.refit_every = refit_every
+        self.min_history = min_history
+        self._history: deque[Job] = deque(maxlen=window)
+        self._since_fit = 0
+        self._model: _BatchModel | None = None
+        self._encoder: FeatureEncoder | None = None
+        self._resid_var = 0.0
+
+    def observe(self, job: Job, now: float) -> None:
+        self._history.append(job)
+        self._since_fit += 1
+        if len(self._history) >= self.min_history and (
+            self._model is None or self._since_fit >= self.refit_every
+        ):
+            self._refit()
+
+    def _refit(self) -> None:
+        jobs = list(self._history)
+        encoder = FeatureEncoder().fit(jobs)
+        X = encoder.transform(jobs)
+        y = np.log1p([j.runtime_s for j in jobs])
+        model = self.model_factory()
+        model.fit(X, y)
+        self._resid_var = float(np.var(y - model.predict(X)))
+        self._model = model
+        self._encoder = encoder
+        self._since_fit = 0
+
+    def estimate(self, job: Job, now: float) -> float | None:
+        if self._model is None or self._encoder is None:
+            return None
+        x = self._encoder.transform_one(job)
+        pred = float(self._model.predict(x[None, :])[0])
+        # Log-space models predict the conditional *median*; correct to
+        # the lognormal mean so estimates are not systematically low.
+        return max(float(np.expm1(pred + 0.5 * self._resid_var)), 1.0)
+
+
+def svm_estimator(window: int = 700) -> WindowedModelEstimator:
+    """Fig. 11b's "SVM" row: one global SVR, no clustering."""
+    from repro.estimate.svr import SVR
+
+    return WindowedModelEstimator(SVR, name="svm", window=window)
+
+
+def random_forest_estimator(window: int = 700, seed: int = 0) -> WindowedModelEstimator:
+    """Fig. 11b's "RandomForest" row."""
+    from repro.estimate.forest import RandomForestRegressor
+
+    def factory() -> RandomForestRegressor:
+        return RandomForestRegressor(n_estimators=15, rng=np.random.default_rng(seed))
+
+    return WindowedModelEstimator(factory, name="random-forest", window=window, refit_every=100)

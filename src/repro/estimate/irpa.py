@@ -1,0 +1,76 @@
+"""IRPA: integrated runtime prediction (Wu et al.).
+
+An ensemble averaging three regressors — random forest, SVR, and
+Bayesian ridge — each fitted on the same sliding history window in
+log-runtime space.  Reuses the windowed online adapter machinery.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import deque
+
+import numpy as np
+
+from repro.estimate.features import FeatureEncoder
+from repro.estimate.forest import RandomForestRegressor
+from repro.estimate.ridge import BayesianRidge
+from repro.estimate.svr import SVR
+from repro.sched.job import Job
+
+
+class IrpaEstimator:
+    """RF + SVR + Bayesian-ridge ensemble over a sliding window."""
+
+    name = "irpa"
+
+    def __init__(
+        self,
+        window: int = 700,
+        refit_every: int = 50,
+        min_history: int = 30,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.window = window
+        self.refit_every = refit_every
+        self.min_history = min_history
+        self.rng = rng or np.random.default_rng(0)
+        self._history: deque[Job] = deque(maxlen=window)
+        self._since_fit = 0
+        self._models: list[t.Any] = []
+        self._encoder: FeatureEncoder | None = None
+        self._resid_var = 0.0
+
+    def observe(self, job: Job, now: float) -> None:
+        self._history.append(job)
+        self._since_fit += 1
+        if len(self._history) >= self.min_history and (
+            not self._models or self._since_fit >= self.refit_every
+        ):
+            self._refit()
+
+    def _refit(self) -> None:
+        jobs = list(self._history)
+        encoder = FeatureEncoder().fit(jobs)
+        X = encoder.transform(jobs)
+        y = np.log1p([j.runtime_s for j in jobs])
+        models = [
+            RandomForestRegressor(n_estimators=20, rng=self.rng),
+            SVR(),
+            BayesianRidge(),
+        ]
+        for m in models:
+            m.fit(X, y)
+        ens = np.mean([m.predict(X) for m in models], axis=0)
+        self._resid_var = float(np.var(y - ens))
+        self._models = models
+        self._encoder = encoder
+        self._since_fit = 0
+
+    def estimate(self, job: Job, now: float) -> float | None:
+        if not self._models or self._encoder is None:
+            return None
+        x = self._encoder.transform_one(job)[None, :]
+        preds = [float(m.predict(x)[0]) for m in self._models]
+        # Median-to-mean correction in log space (see baselines).
+        return max(float(np.expm1(np.mean(preds) + 0.5 * self._resid_var)), 1.0)

@@ -1,0 +1,62 @@
+"""PREP: runtime prediction by job running path [Zhou et al., ICPP'21].
+
+PREP groups jobs by the *path of the executable they run* and trains a
+model per group.  Production traces rarely expose full paths; following
+the paper's insight — the path identifies "the same application" — we
+key groups on the job name (the executable), which like a real path is
+shared across users, and keep an exponentially weighted runtime summary
+per group with a global fallback.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sched.job import Job
+
+
+@dataclass
+class _GroupStats:
+    ewma: float
+    n: int
+
+
+class PrepEstimator:
+    """Per-path (executable name) exponentially weighted runtime models."""
+
+    name = "prep"
+
+    def __init__(self, decay: float = 0.3, min_group: int = 2) -> None:
+        #: weight of the newest observation in the group EWMA
+        self.decay = decay
+        self.min_group = min_group
+        self._groups: dict[str, _GroupStats] = {}
+        self._global_ewma: float | None = None
+
+    @staticmethod
+    def _key(job: Job) -> str:
+        return job.name
+
+    def observe(self, job: Job, now: float) -> None:
+        key = self._key(job)
+        stats = self._groups.get(key)
+        if stats is None:
+            self._groups[key] = _GroupStats(ewma=job.runtime_s, n=1)
+        else:
+            stats.ewma = (1 - self.decay) * stats.ewma + self.decay * job.runtime_s
+            stats.n += 1
+        if self._global_ewma is None:
+            self._global_ewma = job.runtime_s
+        else:
+            self._global_ewma = (1 - self.decay) * self._global_ewma + self.decay * job.runtime_s
+
+    def estimate(self, job: Job, now: float) -> float | None:
+        stats = self._groups.get(self._key(job))
+        if stats is not None and stats.n >= self.min_group:
+            return stats.ewma
+        if stats is not None:  # one observation: still better than nothing
+            return stats.ewma
+        return self._global_ewma

@@ -1,0 +1,19 @@
+"""Experiment harness: cluster construction, RM runs, figure drivers.
+
+:mod:`repro.experiments.harness` builds clusters and runs RM
+simulations with one call; :mod:`repro.experiments.figures` contains a
+driver per paper figure/table (the benchmarks are thin wrappers around
+them); :mod:`repro.experiments.reporting` renders ASCII tables and
+series the way the paper reports them.
+"""
+
+from repro.experiments.harness import build_rm, quick_cluster, run_rm_day
+from repro.experiments.reporting import render_series, render_table
+
+__all__ = [
+    "quick_cluster",
+    "build_rm",
+    "run_rm_day",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,193 @@
+"""Fig. 10 / Table VII driver: scheduling efficiency across scales.
+
+Four clusters (1K, 4K, 16K Tianhe-2A-profile; 20K+ NG-Tianhe-profile)
+run a week-long trace under every RM available at that scale
+(Table VII's availability matrix: SGE/Torque stop at 1K, OpenPBS/LSF at
+4K).  Metrics: system utilization, average waiting time, average
+bounded slowdown — all with the backfill scheduler, ESLURM additionally
+with its runtime-estimation framework, per the paper.
+
+The optional attribution pass reruns ESLURM at the largest scale with
+the estimator and the FP-Tree disabled, reproducing the paper's
+"estimation contributes 8.7 %, FP-Tree 6.2 %" breakdown.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.cluster.failures import FailureModel
+from repro.cluster.spec import ClusterSpec
+from repro.estimate.framework import EslurmEstimator, EstimatorConfig
+from repro.experiments.harness import build_rm
+from repro.experiments.reporting import render_table
+from repro.sched.metrics import ScheduleMetrics
+from repro.simkit.core import Simulator
+from repro.workload.synthetic import WorkloadConfig, generate_trace
+
+DAY = 86_400.0
+
+#: Table VII: which RMs run at which scale.
+CLUSTER_MATRIX: tuple[tuple[int, str, tuple[str, ...]], ...] = (
+    (1024, "tianhe2a", ("sge", "torque", "openpbs", "lsf", "slurm", "eslurm")),
+    (4096, "tianhe2a", ("openpbs", "lsf", "slurm", "eslurm")),
+    (16_384, "tianhe2a", ("slurm", "eslurm")),
+    (20_480, "ng-tianhe", ("slurm", "eslurm")),
+)
+
+
+@dataclass
+class Fig10Result:
+    #: (n_nodes, rm) -> metrics
+    metrics: dict[tuple[int, str], ScheduleMetrics] = field(default_factory=dict)
+    #: attribution at the largest scale: variant -> utilization
+    attribution: dict[str, float] = field(default_factory=dict)
+
+
+def _calibrated_jobs(
+    source: str, n_nodes: int, horizon_s: float, seed: int, target_load: float
+) -> list:
+    """Jobs whose offered load is ``target_load`` of machine capacity.
+
+    The job mix coarsens with machine scale — larger, longer jobs and
+    fewer backfill fillers — reproducing the paper's observation that
+    big systems lack the small jobs needed to plug scheduling holes.
+    """
+    import math
+
+    import numpy as np
+
+    workload_cls = WorkloadConfig.tianhe2a if source == "tianhe2a" else WorkloadConfig.ng_tianhe
+    scale_ln = max(math.log(max(n_nodes, 64) / 1024) / math.log(4), 0.0)
+    long_frac = min(0.2 + 0.12 * scale_ln, 0.6)
+    max_nodes = max(n_nodes // 4, 1)
+    # Iterative calibration *with the run's own seed*: the app pool and
+    # its heavy-tailed size draws are seed-specific, so a probe with a
+    # different seed would measure a different universe.
+    n_jobs = max(int(n_nodes * horizon_s / 50_000.0), 50)
+    jobs: list = []
+    for _ in range(6):
+        workload = workload_cls(
+            max_nodes=max_nodes,
+            long_job_fraction=long_frac,
+            jobs_per_day=n_jobs / (horizon_s / DAY),
+        )
+        jobs = generate_trace(workload, n_jobs, seed=seed, start_time=1.0)
+        jobs = [j for j in jobs if j.submit_time < horizon_s * 0.95]
+        offered = sum(j.n_nodes * j.runtime_s for j in jobs) / (n_nodes * horizon_s)
+        if abs(offered - target_load) <= 0.05 * target_load:
+            break
+        # damped update: the heavy-tailed mix makes offered(n) jumpy
+        n_jobs = max(int(n_jobs * (0.5 + 0.5 * target_load / max(offered, 1e-6))), 50)
+    return jobs
+
+
+def _run_one(
+    n_nodes: int,
+    source: str,
+    rm_name: str,
+    horizon_s: float,
+    seed: int,
+    failures: bool,
+    target_load: float,
+    use_fptree: bool = True,
+    with_estimator: bool = True,
+) -> ScheduleMetrics:
+    sim = Simulator(seed=seed)
+    base = (
+        ClusterSpec.tianhe2a(n_nodes=n_nodes, n_satellites=max(2, n_nodes // 5000))
+        if source == "tianhe2a"
+        else ClusterSpec.ng_tianhe(n_nodes=n_nodes, n_satellites=max(2, n_nodes // 5000))
+    )
+    if not failures:
+        import dataclasses
+
+        base = dataclasses.replace(base, failure_model=FailureModel.disabled())
+    cluster = base.build(sim)
+    if failures:
+        cluster.failures.start()
+        cluster.monitor.start()
+    jobs = _calibrated_jobs(source, n_nodes, horizon_s, seed, target_load)
+    kwargs: dict[str, t.Any] = {"sample_interval_s": 300.0}
+    if rm_name == "eslurm":
+        if with_estimator:
+            import numpy as np
+
+            cfg = EstimatorConfig(aea_gate=0.0, k_clusters=40)
+            kwargs["estimator"] = EslurmEstimator(cfg, rng=np.random.default_rng(seed))
+        kwargs["use_fptree"] = use_fptree
+    rm = build_rm(rm_name, cluster, **kwargs)
+    rm.run_trace(jobs, until=horizon_s)
+    return ScheduleMetrics.from_jobs(rm.jobs, rm.pool.n_total, horizon_s=horizon_s)
+
+
+def run_fig10(
+    scale: float = 1.0,
+    horizon_days: float = 7.0,
+    target_load: float = 0.85,
+    seed: int = 1,
+    failures: bool = True,
+    with_attribution: bool = False,
+    matrix: t.Sequence[tuple[int, str, tuple[str, ...]]] = CLUSTER_MATRIX,
+) -> Fig10Result:
+    """Run the scaling study.
+
+    Args:
+        scale: multiply every cluster size by this (benches use < 1 for
+            quick runs; 1.0 reproduces the paper's sizes).
+        horizon_days: trace length (paper: one week).
+        target_load: offered load as a fraction of capacity; slightly
+            over 1 keeps machines contended so utilization measures
+            packing efficiency, as in production.
+        failures: inject stochastic failures (the realistic setting).
+        with_attribution: add the ESLURM ablation runs at the largest
+            scale (estimator off / FP-Tree off).
+    """
+    result = Fig10Result()
+    horizon = horizon_days * DAY
+    for n_nodes, source, rms in matrix:
+        n = max(int(n_nodes * scale), 64)
+        for rm_name in rms:
+            result.metrics[(n, rm_name)] = _run_one(
+                n, source, rm_name, horizon, seed, failures, target_load
+            )
+    if with_attribution:
+        n_nodes, source, _ = matrix[-1]
+        n = max(int(n_nodes * scale), 64)
+        variants = {
+            "eslurm-full": dict(with_estimator=True, use_fptree=True),
+            "eslurm-no-estimator": dict(with_estimator=False, use_fptree=True),
+            "eslurm-no-fptree": dict(with_estimator=True, use_fptree=False),
+            "slurm": {},
+        }
+        for label, opts in variants.items():
+            rm_name = "slurm" if label == "slurm" else "eslurm"
+            m = _run_one(n, source, rm_name, horizon, seed, failures, target_load, **opts)
+            result.attribution[label] = m.utilization
+    return result
+
+
+def render_fig10(r: Fig10Result) -> str:
+    rows = []
+    for (n, rm), m in sorted(r.metrics.items()):
+        rows.append([n, rm, m.utilization, m.avg_wait_s, m.avg_slowdown])
+    blocks = [
+        render_table(
+            ["nodes", "RM", "utilization", "avg_wait_s", "avg_slowdown"],
+            rows,
+            title="Fig 10: scheduling efficiency across scales (backfill)",
+            float_fmt="{:.3f}",
+        )
+    ]
+    if r.attribution:
+        rows = [[k, v] for k, v in r.attribution.items()]
+        blocks.append(
+            render_table(
+                ["variant", "utilization"],
+                rows,
+                title="attribution at largest scale (paper: estimation +8.7%, FP-Tree +6.2%)",
+                float_fmt="{:.3f}",
+            )
+        )
+    return "\n".join(blocks)

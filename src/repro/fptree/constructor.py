@@ -1,0 +1,158 @@
+"""The FP-Tree constructor: leaf location + prediction + rearranging.
+
+Workflow (paper Fig. 3/4): on every communication task the constructor
+
+1. computes which positions of the task's nodelist become leaves
+   (:func:`repro.fptree.tree.leaf_positions`);
+2. asks the predictor plugin which of the participating nodes are
+   expected to fail;
+3. rearranges the nodelist so predicted-failed nodes occupy leaf
+   positions and healthy nodes occupy inner positions, preserving the
+   original relative order within each class (:func:`rearrange`, O(n)).
+
+The rearranged list is then fed to the ordinary k-ary tree engine —
+the FP-Tree is *only* a list permutation, never a different topology.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.fptree.predictor import FailurePredictor
+from repro.fptree.tree import leaf_positions
+from repro.network.broadcast import BroadcastResult, BroadcastStructure
+from repro.network.structures import TreeBroadcast
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.fabric import NetworkFabric
+
+
+def rearrange(
+    nodelist: t.Sequence[int],
+    leaf_idx: t.Collection[int],
+    predicted_failed: t.Collection[int],
+) -> list[int]:
+    """Place predicted-failed nodes on leaf positions (paper Fig. 4c).
+
+    Walks positions in order; a leaf position preferentially takes the
+    next node from the predicted-failed pool, an inner position from the
+    healthy pool, falling back to the other pool when one runs dry.
+    Both pools preserve the input order, so when nothing is predicted
+    the output equals the input.  O(n).
+    """
+    predicted = set(predicted_failed)
+    leaves = set(leaf_idx)
+    failed_pool: deque[int] = deque(nid for nid in nodelist if nid in predicted)
+    healthy_pool: deque[int] = deque(nid for nid in nodelist if nid not in predicted)
+    out: list[int] = []
+    for pos in range(len(nodelist)):
+        if pos in leaves:
+            pool, alt = failed_pool, healthy_pool
+        else:
+            pool, alt = healthy_pool, failed_pool
+        out.append(pool.popleft() if pool else alt.popleft())
+    return out
+
+
+@dataclass
+class ConstructionStats:
+    """Bookkeeping for the paper's placement experiment (Section VII-A)."""
+
+    trees_built: int = 0
+    nodes_placed: int = 0
+    predicted_total: int = 0
+    predicted_on_leaves: int = 0
+
+    @property
+    def leaf_placement_ratio(self) -> float:
+        """Fraction of predicted-failed nodes that landed on leaves
+        (the paper reports 81.7 % for *actually failed* nodes)."""
+        if self.predicted_total == 0:
+            return 1.0
+        return self.predicted_on_leaves / self.predicted_total
+
+
+class FPTreeConstructor:
+    """Builds FP-ordered nodelists for a given tree width."""
+
+    def __init__(self, predictor: FailurePredictor, width: int = 32) -> None:
+        if width < 2:
+            raise ConfigurationError("tree width must be >= 2")
+        self.predictor = predictor
+        self.width = width
+        self.stats = ConstructionStats()
+
+    def construct(self, root: int, targets: t.Sequence[int]) -> list[int]:
+        """Return the rearranged *target* list for ``[root] + targets``.
+
+        The root (the satellite) always keeps position 0; only target
+        positions 1..n are permuted.
+        """
+        if not targets:
+            return []
+        n = len(targets) + 1  # including the root position
+        # Leaf positions within the full nodelist; drop position 0 (root
+        # can only be a leaf for n == 1, excluded above) and shift to
+        # target-list indexing.
+        leaf_idx = [p - 1 for p in leaf_positions(n, self.width) if p > 0]
+        predicted = self.predictor.predict(targets)
+        ordered = rearrange(list(targets), leaf_idx, predicted)
+        self._record(ordered, leaf_idx, predicted)
+        return ordered
+
+    def _record(self, ordered: list[int], leaf_idx: list[int], predicted: set[int]) -> None:
+        st = self.stats
+        st.trees_built += 1
+        st.nodes_placed += len(ordered)
+        st.predicted_total += len(predicted)
+        leaves = set(leaf_idx)
+        st.predicted_on_leaves += sum(
+            1 for pos, nid in enumerate(ordered) if nid in predicted and pos in leaves
+        )
+
+
+class FPTreeBroadcast(BroadcastStructure):
+    """Tree broadcast over an FP-rearranged nodelist.
+
+    Drop-in comparable with the engines of
+    :mod:`repro.network.structures`; the Fig. 8 experiments sweep these
+    side by side.
+    """
+
+    name = "fp-tree"
+
+    def __init__(
+        self, predictor: FailurePredictor, width: int = 32, per_target_root_s: float = 0.0
+    ) -> None:
+        self.constructor = FPTreeConstructor(predictor, width)
+        self._engine = TreeBroadcast(width, per_target_root_s=per_target_root_s)
+
+    @property
+    def width(self) -> int:
+        return self.constructor.width
+
+    @property
+    def stats(self) -> ConstructionStats:
+        return self.constructor.stats
+
+    def simulate(
+        self,
+        root: int,
+        targets: t.Sequence[int],
+        size_bytes: int,
+        fabric: "NetworkFabric",
+        record_arrivals: bool = False,
+    ) -> BroadcastResult:
+        ordered = self.constructor.construct(root, targets)
+        result = self._engine.simulate(root, ordered, size_bytes, fabric, record_arrivals)
+        return BroadcastResult(
+            structure=self.name,
+            makespan_s=result.makespan_s,
+            n_targets=result.n_targets,
+            failed=result.failed,
+            n_timeouts=result.n_timeouts,
+            arrivals=result.arrivals,
+        )

@@ -1,0 +1,28 @@
+"""Topology-aware base ordering for communication trees.
+
+Section IV-E: systems that optimise trees with physical topology can
+build the topology-aware tree *first* and then fine-tune it with the
+FP-Tree constructor — because few nodes are predicted failed (<2 % in
+production), the rearrangement barely perturbs the topology-aware
+ordering while still demoting the risky nodes to leaves.
+
+``topology_aware_order`` produces that base ordering: nodes grouped by
+rack, then chassis, then board, so tree subtrees align with physical
+domains and most traffic stays rack-local.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.cluster.topology import Topology
+
+
+def topology_aware_order(node_ids: t.Sequence[int], topology: Topology) -> list[int]:
+    """Sort nodes by (rack, chassis, board, id).
+
+    A stable hierarchical grouping: contiguous slices of the result
+    share racks/chassis, so the contiguous-chunk tree construction maps
+    subtrees onto physical locality domains.
+    """
+    return sorted(node_ids, key=lambda nid: (*topology.coordinates(nid), nid))

@@ -1,0 +1,75 @@
+"""Broadcast engine interface and result record.
+
+A broadcast engine answers: *given the live cluster state, how long does
+disseminating one message of this size from this root to these targets
+take, and who never got it?*  Engines are deterministic computations
+over the :class:`~repro.network.fabric.NetworkFabric` latency model; the
+RM layer invokes them for job-launch/termination messages and heartbeat
+rounds, and the Fig. 8 experiments invoke them directly.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.fabric import NetworkFabric
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of one simulated broadcast.
+
+    Attributes:
+        structure: engine name (``ring``, ``star``, ...).
+        makespan_s: time from dispatch until the last successful
+            delivery (including all timeout penalties on the way).
+        n_targets: number of intended recipients (root excluded).
+        failed: ids of targets the payload never reached.
+        n_timeouts: dead-node timeout events encountered.
+        arrivals: optional per-node delivery times (populated only when
+            the engine was asked to ``record_arrivals``).
+    """
+
+    structure: str
+    makespan_s: float
+    n_targets: int
+    failed: tuple[int, ...] = ()
+    n_timeouts: int = 0
+    arrivals: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def n_delivered(self) -> int:
+        return self.n_targets - len(self.failed)
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.n_delivered / self.n_targets if self.n_targets else 1.0
+
+
+class BroadcastStructure:
+    """Base class for broadcast engines."""
+
+    #: engine name used in reports and figures
+    name = "abstract"
+
+    def simulate(
+        self,
+        root: int,
+        targets: t.Sequence[int],
+        size_bytes: int,
+        fabric: "NetworkFabric",
+        record_arrivals: bool = False,
+    ) -> BroadcastResult:
+        """Evaluate one broadcast; see :class:`BroadcastResult`."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(targets: t.Sequence[int], size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise ConfigurationError("broadcast payload size must be positive")
+        if len(set(targets)) != len(targets):
+            raise ConfigurationError("broadcast target list contains duplicates")

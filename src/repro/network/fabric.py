@@ -1,0 +1,165 @@
+"""Latency/bandwidth model of the interconnect.
+
+The model decomposes one point-to-point transfer into::
+
+    delay = send_overhead (sender CPU, serialises per-connection work)
+          + hop_latency[hop_level]         (propagation, by distance class)
+          + size_bytes / bandwidth          (serialisation on a 25 Gb/s lane)
+
+A transfer to a dead node costs ``connect_timeout * (1 + retries)``
+before the sender gives up — the paper sets three connection retries in
+its structure comparison (Section VII-A), and this timeout term is what
+turns failed nodes into latency, which the FP-Tree then bounds.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.topology import HopLevel
+from repro.errors import ConfigurationError
+from repro.network.message import Message
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.spec import Cluster
+    from repro.simkit.core import Simulator
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Interconnect parameters.
+
+    Defaults follow the paper's hardware description (25 Gb/s serial
+    lanes) with conservative software overheads typical of socket-based
+    RM daemons.
+
+    Args:
+        bandwidth_gbps: per-lane bandwidth.
+        send_overhead_s: sender-side CPU per connection (setup,
+            serialisation); this is the term that serialises fan-out.
+        hop_latency_s: propagation latency per hop level, indexed by
+            :class:`HopLevel` (5 entries).
+        connect_timeout_s: how long a connect to a dead node blocks.
+        retries: reconnect attempts before declaring the peer dead
+            (paper: 3).
+        jitter_frac: multiplicative latency jitter (uniform ±frac);
+            0 disables and keeps transfers fully deterministic.
+    """
+
+    bandwidth_gbps: float = 25.0
+    send_overhead_s: float = 0.0008
+    hop_latency_s: tuple[float, float, float, float, float] = (
+        0.0,      # same node
+        2e-6,     # same board
+        5e-6,     # same chassis
+        1.2e-5,   # same rack
+        2.5e-5,   # cross rack
+    )
+    connect_timeout_s: float = 1.0
+    retries: int = 3
+    jitter_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.send_overhead_s < 0 or self.connect_timeout_s <= 0:
+            raise ConfigurationError("invalid overhead/timeout")
+        if self.retries < 0:
+            raise ConfigurationError("retries cannot be negative")
+        if len(self.hop_latency_s) != 5:
+            raise ConfigurationError("hop_latency_s needs one entry per HopLevel")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ConfigurationError("jitter_frac must be in [0, 1)")
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_gbps * 1e9 / 8.0
+
+    @property
+    def dead_node_penalty_s(self) -> float:
+        """Time lost discovering that a peer is dead."""
+        return self.connect_timeout_s * (1 + self.retries)
+
+
+class NetworkFabric:
+    """Evaluates transfer delays against the live cluster state."""
+
+    def __init__(self, sim: "Simulator", cluster: "Cluster", config: FabricConfig | None = None) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.config = config or FabricConfig()
+        self._rng = sim.rng.stream("fabric")
+
+    # -- scalar API --------------------------------------------------------
+    def transfer_delay(self, src: int, dst: int, size_bytes: int) -> float:
+        """Delay for one successful transfer (does not check liveness)."""
+        cfg = self.config
+        hop = self.cluster.topology.hop_level(
+            min(src, self.cluster.n_nodes - 1) if src < self.cluster.n_nodes else 0,
+            min(dst, self.cluster.n_nodes - 1) if dst < self.cluster.n_nodes else 0,
+        )
+        delay = cfg.send_overhead_s + cfg.hop_latency_s[hop] + size_bytes / cfg.bytes_per_second
+        if cfg.jitter_frac:
+            delay *= 1.0 + cfg.jitter_frac * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    def is_reachable(self, node_id: int) -> bool:
+        """Whether the target currently answers connections."""
+        return self.cluster.is_responsive(node_id)
+
+    def attempt_delay(self, src: int, dst: int, size_bytes: int) -> tuple[float, bool]:
+        """``(delay, delivered)`` for one attempt against live state."""
+        if self.is_reachable(dst):
+            return self.transfer_delay(src, dst, size_bytes), True
+        return self.config.dead_node_penalty_s, False
+
+    # -- vectorized API (hot path for broadcast evaluation) --------------
+    def transfer_delays(self, src: int, dsts: np.ndarray, size_bytes: int) -> np.ndarray:
+        """Vectorised :meth:`transfer_delay` for many destinations.
+
+        Hop levels are computed from topology coordinates without Python
+        loops; used by the star/tree engines at full machine scale.
+        """
+        cfg = self.config
+        topo = self.cluster.topology
+        dsts = np.asarray(dsts, dtype=np.int64)
+        n = self.cluster.n_nodes
+        src_c = min(src, n - 1) if src < n else 0
+        dst_c = np.where(dsts < n, np.minimum(dsts, n - 1), 0)
+        src_board = src_c // topo.nodes_per_board
+        src_chassis = src_c // topo.nodes_per_chassis
+        src_rack = src_c // topo.nodes_per_rack
+        dst_board = dst_c // topo.nodes_per_board
+        dst_chassis = dst_c // topo.nodes_per_chassis
+        dst_rack = dst_c // topo.nodes_per_rack
+        hop = np.full(dsts.shape, int(HopLevel.CROSS_RACK), dtype=np.int64)
+        hop[dst_rack == src_rack] = int(HopLevel.SAME_RACK)
+        hop[dst_chassis == src_chassis] = int(HopLevel.SAME_CHASSIS)
+        hop[dst_board == src_board] = int(HopLevel.SAME_BOARD)
+        hop[dst_c == src_c] = int(HopLevel.SAME_NODE)
+        lat = np.asarray(cfg.hop_latency_s)[hop]
+        delays = cfg.send_overhead_s + lat + size_bytes / cfg.bytes_per_second
+        if cfg.jitter_frac:
+            delays = delays * (1.0 + cfg.jitter_frac * (2.0 * self._rng.random(delays.shape) - 1.0))
+        return delays
+
+    def reachability(self, node_ids: t.Sequence[int]) -> np.ndarray:
+        """Boolean liveness mask over ``node_ids``."""
+        return np.fromiter(
+            (self.cluster.is_responsive(nid) for nid in node_ids),
+            dtype=bool,
+            count=len(node_ids),
+        )
+
+    # -- DES-level helper --------------------------------------------------
+    def deliver(self, message: Message) -> "t.Any":
+        """Event that fires when ``message`` arrives (or fails) at ``dst``.
+
+        Success value is the message; unreachable destinations make the
+        event fire after the dead-node penalty with value ``None``.
+        """
+        delay, ok = self.attempt_delay(message.src, message.dst, message.size_bytes)
+        return self.sim.timeout(delay, value=message if ok else None)

@@ -1,0 +1,65 @@
+"""Concurrent-connection accounting.
+
+Fig. 7e / 9c / 9f measure the *number of concurrent TCP sockets* held
+by the master (and satellite) daemons.  The tracker is a plain counter
+with a time series behind it so experiments can report instantaneous,
+mean, and peak connection counts exactly like the paper's once-a-second
+sampling.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import NetworkError
+from repro.simkit.monitor import TimeSeries
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkit.core import Simulator
+
+
+class ConnectionTracker:
+    """Tracks concurrent connections held by one daemon."""
+
+    def __init__(self, sim: "Simulator", owner: str = "") -> None:
+        self.sim = sim
+        self.owner = owner
+        self.current = 0
+        self.series = TimeSeries(f"{owner}.sockets")
+        self.total_opened = 0
+
+    def open(self, count: int = 1) -> None:
+        """Open ``count`` connections."""
+        if count < 0:
+            raise NetworkError("cannot open a negative number of connections")
+        self.current += count
+        self.total_opened += count
+        self.series.record(self.sim.now, self.current)
+
+    def close(self, count: int = 1) -> None:
+        """Close ``count`` connections."""
+        if count < 0:
+            raise NetworkError("cannot close a negative number of connections")
+        if count > self.current:
+            raise NetworkError(
+                f"{self.owner}: closing {count} connections but only {self.current} open"
+            )
+        self.current -= count
+        self.series.record(self.sim.now, self.current)
+
+    def pulse(self, count: int, hold_s: float) -> None:
+        """Open ``count`` connections now and close them after ``hold_s``.
+
+        The common pattern for request/response traffic: the connection
+        count spikes for the duration of the exchange.
+        """
+        self.open(count)
+        self.sim.call_at(self.sim.now + hold_s, lambda: self.close(count))
+
+    # -- statistics ------------------------------------------------------
+    def peak(self) -> float:
+        return self.series.max()
+
+    def mean(self) -> float:
+        """Time-weighted average concurrent connections."""
+        return self.series.time_average(until=self.sim.now) if len(self.series) else 0.0

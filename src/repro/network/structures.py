@@ -1,0 +1,225 @@
+"""The four baseline broadcast structures of Section VII-A.
+
+* **Ring** — the payload is relayed node-to-node in list order; fully
+  serial, so every dead node's timeout delays *everything* downstream.
+* **Star** — the root contacts every target itself over a bounded pool
+  of synchronous connection workers; dead targets pin a worker for the
+  full timeout, so latency grows with the failure ratio.
+* **Shared memory** — the root posts once to a shared segment and nodes
+  pull it; dead nodes simply never pull, leaving latency flat in the
+  failure ratio (exactly the paper's observation).
+* **Tree** — the k-ary tree of :mod:`repro.fptree.tree` with
+  asynchronous child dispatch.  A dead *leaf* only costs its parent a
+  (parallel) timeout; a dead *inner* node delays its whole subtree by
+  the timeout **plus** the parent's slow synchronous takeover of the
+  orphaned grandchildren — the "redesign" cost the paper describes.
+
+The FP-Tree engine in :mod:`repro.fptree.constructor` reuses the tree
+engine on a rearranged nodelist.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fptree.tree import children_bounds
+from repro.network.broadcast import BroadcastResult, BroadcastStructure
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.fabric import NetworkFabric
+
+
+class RingBroadcast(BroadcastStructure):
+    """Serial relay along the target list."""
+
+    name = "ring"
+
+    def simulate(self, root, targets, size_bytes, fabric, record_arrivals=False):
+        self._validate(targets, size_bytes)
+        result = BroadcastResult(self.name, 0.0, len(targets))
+        now = 0.0
+        prev = root
+        penalty = fabric.config.dead_node_penalty_s
+        for nid in targets:
+            if fabric.is_reachable(nid):
+                now += fabric.transfer_delay(prev, nid, size_bytes)
+                if record_arrivals:
+                    result.arrivals[nid] = now
+                prev = nid
+            else:
+                now += penalty
+                result.n_timeouts += 1
+                result.failed += (nid,)
+        result.makespan_s = now
+        return result
+
+
+class StarBroadcast(BroadcastStructure):
+    """Root-to-everyone over ``concurrency`` synchronous workers.
+
+    The makespan uses the standard list-scheduling bound
+    ``max(longest_task, total_work / workers) (+ one latency)`` which is
+    exact to within one task length for near-uniform task sizes — the
+    regime these broadcasts are in.
+    """
+
+    name = "star"
+
+    def __init__(self, concurrency: int = 64) -> None:
+        if concurrency < 1:
+            raise ConfigurationError("star concurrency must be >= 1")
+        self.concurrency = concurrency
+
+    def simulate(self, root, targets, size_bytes, fabric, record_arrivals=False):
+        self._validate(targets, size_bytes)
+        n = len(targets)
+        result = BroadcastResult(self.name, 0.0, n)
+        if n == 0:
+            return result
+        ids = np.asarray(targets, dtype=np.int64)
+        alive = fabric.reachability(targets)
+        delays = fabric.transfer_delays(root, ids, size_bytes)
+        penalty = fabric.config.dead_node_penalty_s
+        durations = np.where(alive, delays, penalty)
+        result.n_timeouts = int((~alive).sum())
+        result.failed = tuple(int(i) for i in ids[~alive])
+        total = float(durations.sum())
+        longest = float(durations.max())
+        result.makespan_s = max(longest, total / self.concurrency)
+        if record_arrivals:
+            # Approximate arrival: position in the work list over the pool.
+            finish = np.cumsum(durations) / self.concurrency
+            finish = np.maximum(finish, delays)
+            for nid, ok, at in zip(targets, alive, finish):
+                if ok:
+                    result.arrivals[int(nid)] = float(at)
+        return result
+
+
+class SharedMemoryBroadcast(BroadcastStructure):
+    """Post-once / pull-many over a shared segment.
+
+    ``poll_interval_s`` is the mean delay before a node notices the new
+    payload.  Failed nodes never pull; nobody waits for them, so the
+    makespan is independent of the failure ratio.
+    """
+
+    name = "shared-memory"
+
+    def __init__(self, poll_interval_s: float = 0.5, post_overhead_s: float = 0.01) -> None:
+        if poll_interval_s <= 0 or post_overhead_s < 0:
+            raise ConfigurationError("invalid shared-memory parameters")
+        self.poll_interval_s = poll_interval_s
+        self.post_overhead_s = post_overhead_s
+
+    def simulate(self, root, targets, size_bytes, fabric, record_arrivals=False):
+        self._validate(targets, size_bytes)
+        n = len(targets)
+        result = BroadcastResult(self.name, 0.0, n)
+        if n == 0:
+            result.makespan_s = self.post_overhead_s
+            return result
+        ids = np.asarray(targets, dtype=np.int64)
+        alive = fabric.reachability(targets)
+        result.failed = tuple(int(i) for i in ids[~alive])
+        fetch = fabric.transfer_delays(root, ids, size_bytes)
+        # Worst poll phase dominates; pulls happen in parallel.
+        arrivals = self.post_overhead_s + self.poll_interval_s + fetch
+        live_arrivals = arrivals[alive]
+        result.makespan_s = float(live_arrivals.max()) if live_arrivals.size else self.post_overhead_s
+        if record_arrivals:
+            for nid, ok, at in zip(targets, alive, arrivals):
+                if ok:
+                    result.arrivals[int(nid)] = float(at)
+        return result
+
+
+class TreeBroadcast(BroadcastStructure):
+    """K-ary tree relay with asynchronous dispatch and synchronous takeover.
+
+    The tree shape is the implicit structure of
+    :func:`repro.fptree.tree.build_tree` over ``[root] + targets``;
+    engines walk index ranges instead of materialising nodes.
+    """
+
+    name = "tree"
+
+    def __init__(self, width: int = 32, per_target_root_s: float = 0.0) -> None:
+        """Args:
+        width: fan-out of every tree level.
+        per_target_root_s: serial root-side CPU per *target* (e.g.
+            per-node launch credentials); this is the work the ESLURM
+            satellite layer parallelises away from the master.
+        """
+        if width < 2:
+            raise ConfigurationError("tree width must be >= 2")
+        if per_target_root_s < 0:
+            raise ConfigurationError("per-target root cost cannot be negative")
+        self.width = width
+        self.per_target_root_s = per_target_root_s
+
+    def simulate(self, root, targets, size_bytes, fabric, record_arrivals=False):
+        self._validate(targets, size_bytes)
+        nodelist = [root, *targets]
+        result = BroadcastResult(self.name, 0.0, len(targets))
+        if not targets:
+            return result
+        cfg = fabric.config
+        penalty = cfg.dead_node_penalty_s
+        overhead = cfg.send_overhead_s
+        failed: list[int] = []
+        makespan = 0.0
+        timeouts = 0
+
+        def dispatch_children(lo: int, hi: int, parent_id: int, ready: float) -> None:
+            """Asynchronous fan-out from a live parent at time ``ready``."""
+            nonlocal makespan, timeouts
+            for i, (c_lo, c_hi) in enumerate(children_bounds(lo, hi, self.width)):
+                child = nodelist[c_lo]
+                initiated = ready + (i + 1) * overhead
+                if fabric.is_reachable(child):
+                    arrival = initiated + fabric.transfer_delay(parent_id, child, size_bytes)
+                    makespan = max(makespan, arrival)
+                    if record_arrivals:
+                        result.arrivals[child] = arrival
+                    dispatch_children(c_lo, c_hi, child, arrival)
+                else:
+                    timeouts += 1
+                    failed.append(child)
+                    # Detection itself does not gate any delivery (makespan
+                    # is the last *successful* delivery); the takeover of
+                    # the orphaned grandchildren starts after the timeout.
+                    detected = initiated + penalty
+                    takeover(c_lo, c_hi, parent_id, detected)
+
+        def takeover(lo: int, hi: int, parent_id: int, start: float) -> float:
+            """Synchronous serial adoption of a dead child's children.
+
+            Returns the time the parent finishes the whole takeover;
+            nested takeovers consume the parent's serial time too.
+            """
+            nonlocal makespan, timeouts
+            now = start
+            for g_lo, g_hi in children_bounds(lo, hi, self.width):
+                grandchild = nodelist[g_lo]
+                if fabric.is_reachable(grandchild):
+                    now += overhead + fabric.transfer_delay(parent_id, grandchild, size_bytes)
+                    makespan = max(makespan, now)
+                    if record_arrivals:
+                        result.arrivals[grandchild] = now
+                    dispatch_children(g_lo, g_hi, grandchild, now)
+                else:
+                    timeouts += 1
+                    failed.append(grandchild)
+                    now += penalty  # serial: gates the remaining adoptions
+                    now = takeover(g_lo, g_hi, parent_id, now)
+            return now
+
+        dispatch_children(0, len(nodelist), root, self.per_target_root_s * len(targets))
+        result.makespan_s = makespan
+        result.failed = tuple(failed)
+        result.n_timeouts = timeouts
+        return result

@@ -1,0 +1,36 @@
+"""Resource managers: one job-lifecycle engine, many cost profiles.
+
+The experiments of Section VII compare ESLURM against five production
+RMs (Slurm, LSF, SGE, Torque, OpenPBS).  We reproduce them as a single
+discrete-event engine (:mod:`repro.rm.base`) parameterised by a
+:class:`~repro.rm.profiles.RMProfile` — per-RPC CPU cost, per-node
+state size, connection behaviour, heartbeat and broadcast strategy —
+so Fig. 7/9's resource-usage orderings *emerge* from message counts ×
+unit costs rather than being drawn.
+
+:class:`~repro.rm.centralized.CentralizedRM` is the classical
+master-slave engine; :class:`~repro.rm.eslurm.EslurmRM` adds the
+satellite layer (Section III): dynamic satellite allocation (Eq. 1),
+the Fig. 2 satellite state machine, round-robin failover with master
+takeover, and FP-Tree broadcasting.
+"""
+
+from repro.rm.accounting import DaemonAccounting
+from repro.rm.base import ResourceManager, RmReport
+from repro.rm.centralized import CentralizedRM
+from repro.rm.eslurm import EslurmRM
+from repro.rm.profiles import RM_PROFILES, RMProfile
+from repro.rm.satellite import SatelliteEvent, SatellitePool, SatelliteState
+
+__all__ = [
+    "DaemonAccounting",
+    "ResourceManager",
+    "RmReport",
+    "CentralizedRM",
+    "EslurmRM",
+    "RMProfile",
+    "RM_PROFILES",
+    "SatellitePool",
+    "SatelliteState",
+    "SatelliteEvent",
+]

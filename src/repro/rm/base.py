@@ -1,0 +1,432 @@
+"""The RM engine: job lifecycle, heartbeats, user traffic, accounting.
+
+One engine serves every RM in the comparison; behaviour differences
+come from the :class:`~repro.rm.profiles.RMProfile` (costs, connection
+style, fan-out structure) and from subclass hooks:
+
+* :meth:`ResourceManager._broadcast` — how a payload reaches a set of
+  nodes (centralized structures vs ESLURM's satellite/FP-Tree path);
+* :meth:`ResourceManager._heartbeat_round` — who pays for the periodic
+  health sweep.
+
+The engine charges every action to :class:`DaemonAccounting`, so the
+Fig. 7/9 resource curves are by-products of running the workload, and
+tracks per-job *occupation time* (submission to full resource release,
+Fig. 7f).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.cluster.spec import Cluster
+from repro.errors import ConfigurationError, ProcessInterrupt, SchedulingError
+from repro.estimate.metrics import RuntimeEstimator
+from repro.network.broadcast import BroadcastResult
+from repro.network.fabric import FabricConfig, NetworkFabric
+from repro.network.message import DEFAULT_SIZES, MessageKind
+from repro.network.structures import StarBroadcast, TreeBroadcast
+from repro.rm.accounting import DaemonAccounting
+from repro.rm.profiles import HeartbeatStyle, LaunchStructure, RMProfile
+from repro.sched.allocator import NodePool
+from repro.sched.backfill import BackfillScheduler
+from repro.sched.job import Job, JobState
+from repro.sched.metrics import ScheduleMetrics
+from repro.sched.queue import JobQueue
+from repro.simkit.core import Simulator
+from repro.simkit.monitor import Tally
+
+
+def tree_depth_estimate(n: int, width: int) -> int:
+    """Depth of a width-ary fan-out over ``n`` targets (cheap bound)."""
+    depth = 0
+    reach = 1
+    while reach < n:
+        reach *= width
+        depth += 1
+    return depth
+
+
+@dataclass
+class RmReport:
+    """Everything a benchmark wants to know after a run."""
+
+    rm_name: str
+    n_nodes: int
+    master: dict[str, float]
+    satellites: list[dict[str, float]] = field(default_factory=list)
+    schedule: ScheduleMetrics | None = None
+    occupation_mean_s: float = 0.0
+    occupation_max_s: float = 0.0
+    broadcast_mean_s: float = 0.0
+    n_broadcasts: int = 0
+
+    def summary(self) -> str:
+        lines = [f"[{self.rm_name}] {self.n_nodes} nodes"]
+        lines.append(
+            "  master: cpu={cpu_time_min:.1f}min vmem={vmem_mb:.0f}MB "
+            "rss={rss_mb:.1f}MB sockets(mean/peak)={sockets_mean:.1f}/{sockets_peak:.0f}".format(
+                **self.master
+            )
+        )
+        for i, s in enumerate(self.satellites):
+            lines.append(
+                f"  sat{i}: cpu={s['cpu_time_min']:.1f}min vmem={s['vmem_mb']:.0f}MB "
+                f"rss={s['rss_mb']:.1f}MB sockets={s['sockets_mean']:.1f}"
+            )
+        if self.schedule is not None:
+            lines.append("  " + self.schedule.summary().replace("\n", "\n  "))
+        if self.n_broadcasts:
+            lines.append(
+                f"  broadcasts: n={self.n_broadcasts} mean={self.broadcast_mean_s:.3f}s"
+            )
+        if self.occupation_mean_s:
+            lines.append(
+                f"  occupation: mean={self.occupation_mean_s:.2f}s max={self.occupation_max_s:.2f}s"
+            )
+        return "\n".join(lines)
+
+
+class ResourceManager:
+    """Discrete-event resource manager driven by an :class:`RMProfile`.
+
+    Args:
+        sim: simulator owning all processes.
+        cluster: the machine (provides nodes, failures, monitoring).
+        profile: cost/behaviour constants.
+        scheduler: policy object (defaults to EASY backfill, the paper's
+            setting for every RM).
+        estimator: optional runtime estimator; when provided, submitted
+            jobs get their wall limit from it (ESLURM's framework).
+        fabric_config: interconnect parameters.
+        user_rpc_rate_per_s: background squeue/scancel traffic.
+        sample_interval_s: accounting sample cadence (paper: 1 s).
+    """
+
+    rm_name = "generic"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        profile: RMProfile,
+        scheduler: t.Any = None,
+        estimator: RuntimeEstimator | None = None,
+        fabric_config: FabricConfig | None = None,
+        user_rpc_rate_per_s: float = 0.05,
+        sample_interval_s: float = 60.0,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.profile = profile
+        self.scheduler = scheduler or BackfillScheduler()
+        self.estimator = estimator
+        self.fabric = NetworkFabric(sim, cluster, fabric_config)
+        self.user_rpc_rate = user_rpc_rate_per_s
+        self.sample_interval_s = sample_interval_s
+        self.rm_name = profile.name
+        self.master_acct = DaemonAccounting(sim, profile, f"{profile.name}.master")
+        self.pool = NodePool(cluster.compute_ids())
+        self.queue = JobQueue()
+        self.jobs: list[Job] = []
+        self._job_procs: dict[int, t.Any] = {}
+        self._occupation = Tally("occupation")
+        self._bcast_tally = Tally("broadcast")
+        self._started = False
+        #: master-daemon crash state (Sec. II-B): while down the daemon
+        #: schedules nothing and answers nobody; running jobs continue.
+        self._crashed_until = -1.0
+        self.crash_count = 0
+        self.submit_failures = 0
+        self.submits_abandoned = 0
+        self._submit_rng = sim.rng.stream(f"{profile.name}.submit")
+        #: connect-failure probability at this machine size (Sec. II-B:
+        #: ~38 % for Slurm at 20K+ nodes)
+        self.submit_fail_prob = min(
+            profile.submit_fail_per_10k_nodes * cluster.n_nodes / 10_000.0, 0.6
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Spawn background processes; call once before running."""
+        if self._started:
+            return
+        self._started = True
+        p = self.profile
+        self.master_acct.set_tracked(nodes=self.cluster.n_nodes, jobs=0)
+        if p.persistent_socket_frac > 0:
+            self.master_acct.sockets.open(int(p.persistent_socket_frac * self.cluster.n_nodes))
+        self.master_acct.start_sampler(self.sample_interval_s)
+        self.sim.process(self._heartbeat_loop(), name=f"{self.rm_name}.heartbeat")
+        if self.user_rpc_rate > 0:
+            self.sim.process(self._user_rpc_loop(), name=f"{self.rm_name}.user_rpc")
+        self.sim.process(self._scheduler_tick_loop(), name=f"{self.rm_name}.sched_tick")
+        if p.crash_node_hours != float("inf"):
+            self.sim.process(self._crash_loop(), name=f"{self.rm_name}.crashes")
+        self.cluster.failures.subscribe(self._on_failure_event)
+
+    @property
+    def master_down(self) -> bool:
+        """Whether the master daemon is currently crashed/rebooting."""
+        return self.sim.now < self._crashed_until
+
+    #: fraction of running jobs a master crash orphans (state-file
+    #: recovery saves the rest; the paper's production crashes lost work)
+    CRASH_ORPHAN_FRACTION = 0.3
+
+    def _crash_loop(self) -> t.Generator:
+        p = self.profile
+        rng = self.sim.rng.stream(f"{self.rm_name}.crashes")
+        mtbf_s = p.crash_node_hours / max(self.cluster.n_nodes, 1) * 3600.0
+        while True:
+            yield self.sim.timeout(rng.exponential(mtbf_s))
+            self.crash_count += 1
+            self._crashed_until = self.sim.now + p.reboot_minutes * 60.0
+            # Orphan a fraction of running jobs: their processes outlive
+            # the daemon but their bookkeeping does not.
+            victims = [
+                job_id
+                for job_id in list(self.pool.running)
+                if rng.random() < self.CRASH_ORPHAN_FRACTION
+            ]
+            for job_id in victims:
+                proc = self._job_procs.get(job_id)
+                if proc is not None and proc.is_alive:
+                    proc.interrupt(cause="master crash")
+            yield self.sim.timeout(p.reboot_minutes * 60.0)
+            self._schedule_pass()  # reboot: work through the backlog
+
+    # -- job submission ----------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Accept a job now; assigns its wall limit and queues it.
+
+        Submission can *fail to connect* (crashed or overloaded master);
+        the user retries after a backoff, or eventually gives up — the
+        load shedding the paper documents at 20K+ nodes.
+        """
+        if job.state is not JobState.PENDING:
+            raise SchedulingError(f"job {job.job_id} is not pending")
+        if job.n_nodes > self.pool.n_total:
+            raise SchedulingError(
+                f"job {job.job_id} wants {job.n_nodes} nodes; machine has {self.pool.n_total}"
+            )
+        if self.master_down or self._submit_rng.random() < self.submit_fail_prob:
+            self.submit_failures += 1
+            if self._submit_rng.random() < 0.75:  # most users retry later
+                backoff = float(self._submit_rng.uniform(600.0, 3600.0))
+                self.sim.call_at(self.sim.now + backoff, lambda: self.submit(job))
+            else:
+                job.cancel(self.sim.now)  # user gives up
+                self.jobs.append(job)
+                self.submits_abandoned += 1
+            return
+        now = self.sim.now
+        if self.estimator is not None:
+            estimate = self.estimator.estimate(job, now)
+            if estimate is not None:
+                # Model estimates steer backfill *planning* only; the
+                # kill limit stays the user's request, so an
+                # underestimate never kills a job (Section V-B's whole
+                # point is avoiding failure-and-reschedule).
+                job.planned_s = max(float(estimate), 60.0)
+        self.jobs.append(job)
+        self.queue.submit(job)
+        self.master_acct.charge_cpu(self.profile.user_rpc_cpu_ms / 1e3)
+        self.master_acct.set_tracked(jobs=len(self.pool.running) + len(self.queue))
+        self._schedule_pass()
+
+    def run_trace(self, jobs: t.Sequence[Job], until: float | None = None) -> None:
+        """Schedule trace submissions as future events and run.
+
+        Args:
+            jobs: jobs with absolute ``submit_time`` values >= now.
+            until: stop time (defaults to running the heap dry — note
+                the heartbeat loop never ends, so pass a horizon).
+        """
+        self.start()
+        for job in sorted(jobs, key=lambda j: j.submit_time):
+            if job.submit_time < self.sim.now:
+                raise SchedulingError(f"job {job.job_id} submits in the past")
+            self.sim.call_at(job.submit_time, lambda j=job: self.submit(j))
+        if until is not None:
+            self.sim.run(until=until)
+
+    # -- scheduling -----------------------------------------------------------
+    def _scheduler_tick_loop(self) -> t.Generator:
+        while True:
+            yield self.sim.timeout(self.profile.scheduler_tick_s)
+            self._schedule_pass()
+
+    def _schedule_pass(self) -> None:
+        if self.master_down:
+            return
+        self.master_acct.charge_cpu(
+            self.profile.sched_cpu_ms / 1e3 * max(1, min(len(self.queue), 100))
+        )
+        decisions = self.scheduler.plan(self.queue, self.pool, self.sim.now)
+        for job, nodes in decisions:
+            for nid in nodes:
+                self.cluster.node(nid).allocate(job.job_id)
+            proc = self.sim.process(self._run_job(job, nodes), name=f"job{job.job_id}")
+            self._job_procs[job.job_id] = proc
+
+    # -- the job lifecycle process ------------------------------------------
+    def _run_job(self, job: Job, nodes: tuple[int, ...]) -> t.Generator:
+        submit_like = self.sim.now  # resources held from this instant
+        try:
+            p = self.profile
+            self.master_acct.charge_cpu(
+                p.launch_cpu_ms / 1e3 + p.launch_cpu_per_node_us / 1e6 * len(nodes)
+            )
+            launch = self._broadcast(MessageKind.JOB_LAUNCH, nodes)
+            self._bcast_tally.record(launch.makespan_s)
+            yield self.sim.timeout(launch.makespan_s)
+            job.start(self.sim.now, nodes)
+            self.master_acct.set_tracked(jobs=len(self.pool.running) + len(self.queue))
+            yield self.sim.timeout(job.effective_runtime_s)
+            # A crashed master cannot process the completion: the job's
+            # resources stay occupied until the daemon is back.
+            if self.master_down:
+                yield self.sim.timeout(self._crashed_until - self.sim.now)
+            end_state = JobState.TIMEOUT if job.will_timeout else JobState.COMPLETED
+            term = self._broadcast(MessageKind.JOB_TERMINATE, nodes)
+            self._bcast_tally.record(term.makespan_s)
+            yield self.sim.timeout(term.makespan_s)
+            job.finish(self.sim.now, end_state)
+        except ProcessInterrupt:
+            # Node failure killed the job mid-flight.
+            if job.state is JobState.RUNNING:
+                job.finish(self.sim.now, JobState.FAILED)
+            elif job.state is JobState.PENDING:
+                job.state = JobState.FAILED
+                job.end_time = self.sim.now
+        finally:
+            self._release(job, nodes, submit_like)
+
+    def _release(self, job: Job, nodes: tuple[int, ...], held_since: float) -> None:
+        self._job_procs.pop(job.job_id, None)
+        self.pool.release(job.job_id)
+        for nid in nodes:
+            node = self.cluster.node(nid)
+            if node.running_job == job.job_id:
+                node.release()
+        self._occupation.record(self.sim.now - job.submit_time)
+        self.master_acct.set_tracked(jobs=len(self.pool.running) + len(self.queue))
+        if self.estimator is not None and job.end_time is not None:
+            self.estimator.observe(job, self.sim.now)
+        self._schedule_pass()
+
+    # -- broadcast dispatch ----------------------------------------------------
+    def _broadcast(self, kind: MessageKind, targets: t.Sequence[int]) -> BroadcastResult:
+        """Deliver ``kind`` to ``targets``; subclasses override routing."""
+        p = self.profile
+        size = DEFAULT_SIZES[kind]
+        root = self.cluster.master.node_id
+        n = len(targets)
+        # Synchronous slave ack/prolog wait: serial pays per node, a star
+        # amortises over its worker pool, a tree only per level.
+        if p.launch_structure is LaunchStructure.SERIAL:
+            engine = StarBroadcast(concurrency=1)
+            self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * n)
+            ack_wait = p.launch_ack_s * n
+        elif p.launch_structure is LaunchStructure.STAR:
+            engine = StarBroadcast(concurrency=p.star_concurrency)
+            self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * n)
+            ack_wait = p.launch_ack_s * n / p.star_concurrency
+        elif p.launch_structure is LaunchStructure.TREE:
+            engine = TreeBroadcast(width=p.tree_width)
+            # master only seeds the first layer; relays do the rest
+            self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * min(p.tree_width, n))
+            ack_wait = p.launch_ack_s * max(tree_depth_estimate(n, p.tree_width), 1)
+        else:
+            raise ConfigurationError(
+                f"profile {p.name}: {p.launch_structure} needs a subclass override"
+            )
+        result = engine.simulate(root, list(targets), size, self.fabric)
+        result.makespan_s += ack_wait
+        concurrent = min(len(targets), p.star_concurrency)
+        if result.makespan_s > 0:
+            self.master_acct.sockets.pulse(concurrent, result.makespan_s)
+        return result
+
+    # -- heartbeats ------------------------------------------------------------
+    def _heartbeat_loop(self) -> t.Generator:
+        p = self.profile
+        while True:
+            yield self.sim.timeout(p.heartbeat_interval_s)
+            if not self.master_down:
+                self._heartbeat_round()
+
+    def _heartbeat_round(self) -> None:
+        """Cost of one health sweep; subclasses override the satellite path."""
+        p = self.profile
+        n = self.cluster.n_nodes
+        if p.heartbeat_style is HeartbeatStyle.DIRECT:
+            self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * n)
+        elif p.heartbeat_style is HeartbeatStyle.TREE:
+            # seed the fan-out + aggregate the responses
+            self.master_acct.charge_cpu(
+                p.rpc_cpu_us / 1e6 * p.tree_width + 0.2 * p.rpc_cpu_us / 1e6 * n
+            )
+        else:
+            raise ConfigurationError(
+                f"profile {p.name}: {p.heartbeat_style} needs a subclass override"
+            )
+        if p.burst_socket_frac > 0:
+            self.master_acct.sockets.pulse(int(p.burst_socket_frac * n), 1.0)
+
+    # -- background user traffic ------------------------------------------------
+    def _user_rpc_loop(self) -> t.Generator:
+        rng = self.sim.rng.stream(f"{self.rm_name}.user_rpc")
+        while True:
+            yield self.sim.timeout(rng.exponential(1.0 / self.user_rpc_rate))
+            self.master_acct.charge_cpu(self.profile.user_rpc_cpu_ms / 1e3)
+            self.master_acct.sockets.pulse(1, self.estimated_response_time())
+
+    def estimated_response_time(self) -> float:
+        """User-visible RPC latency under the current master load.
+
+        An M/M/1-style blow-up: service time inflated by 1/(1-ρ) where ρ
+        is the recent CPU utilisation — this is what the §II-B
+        motivation numbers (27 s responses at 20K+ nodes) come from.
+        """
+        service = self.profile.user_rpc_cpu_ms / 1e3
+        rho = min(self.master_acct.cpu_util.last(), 0.999)
+        return service / (1.0 - rho)
+
+    # -- failures -----------------------------------------------------------------
+    def _on_failure_event(self, kind: str, node_ids: t.Sequence[int], when: float) -> None:
+        if kind == "recover":
+            for nid in node_ids:
+                self.pool.mark_up(nid)
+            return
+        killed: set[int] = set()
+        for nid in node_ids:
+            victim = self.pool.mark_down(nid)
+            if victim is not None:
+                killed.add(victim)
+        for job_id in killed:
+            proc = self._job_procs.get(job_id)
+            if proc is not None and proc.is_alive:
+                proc.interrupt(cause=f"node failure at {when}")
+
+    # -- reporting ----------------------------------------------------------------
+    def report(self, horizon_s: float | None = None) -> RmReport:
+        """Collect the run's results (schedule metrics need ``horizon_s``)."""
+        sched = (
+            ScheduleMetrics.from_jobs(self.jobs, self.pool.n_total, horizon_s=horizon_s)
+            if self.jobs
+            else None
+        )
+        return RmReport(
+            rm_name=self.rm_name,
+            n_nodes=self.cluster.n_nodes,
+            master=self.master_acct.summary(),
+            satellites=[],
+            schedule=sched,
+            occupation_mean_s=self._occupation.mean,
+            occupation_max_s=self._occupation.max,
+            broadcast_mean_s=self._bcast_tally.mean,
+            n_broadcasts=self._bcast_tally.n,
+        )

@@ -1,0 +1,40 @@
+"""The classical centralized (master-slave) resource manager.
+
+Slurm, LSF, SGE, Torque and OpenPBS are all instances of this class
+with their respective profiles — the base engine already implements
+the centralized behaviour; this subclass exists to pin the name and to
+offer the convenience constructor used throughout the benchmarks.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.cluster.spec import Cluster
+from repro.errors import ConfigurationError
+from repro.rm.base import ResourceManager
+from repro.rm.profiles import RM_PROFILES, RMProfile
+from repro.simkit.core import Simulator
+
+
+class CentralizedRM(ResourceManager):
+    """Master-slave RM; pick the production system via ``profile``."""
+
+    @classmethod
+    def from_name(
+        cls,
+        name: str,
+        sim: Simulator,
+        cluster: Cluster,
+        **kwargs: t.Any,
+    ) -> "CentralizedRM":
+        """Build e.g. ``CentralizedRM.from_name("slurm", sim, cluster)``."""
+        try:
+            profile = RM_PROFILES[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown RM {name!r}; choose from {sorted(RM_PROFILES)}"
+            ) from None
+        if name == "eslurm":
+            raise ConfigurationError("use repro.rm.eslurm.EslurmRM for the eslurm profile")
+        return cls(sim, cluster, profile, **kwargs)

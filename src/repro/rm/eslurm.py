@@ -1,0 +1,209 @@
+"""ESLURM: the hierarchical RM with satellites, FP-Tree, and estimation.
+
+Differences from the centralized engine, all per Section III–V:
+
+* **broadcasts** never fan out from the master: the target list is
+  split across N satellites (Eq. 1, round-robin over RUNNING ones);
+  each satellite builds an FP-Tree over its sub-list and relays.  The
+  master only pays for N satellite RPCs and N sockets;
+* **satellite failover**: a satellite dying mid-task moves the task to
+  the next satellite (at most twice), then the master takes over with
+  a plain fan-out tree;
+* **heartbeats** follow the same satellite path; their FP-Tree
+  evaluation is cached against the cluster's liveness/alert versions
+  (failures are rare, heartbeats are not);
+* **job wall limits** come from the runtime-estimation framework when
+  one is attached (``estimator="auto"`` builds the paper's default).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.cluster.spec import Cluster
+from repro.estimate.framework import EslurmEstimator, EstimatorConfig
+from repro.fptree.constructor import FPTreeBroadcast
+from repro.fptree.predictor import FailurePredictor, MonitorAlertPredictor, NullPredictor
+from repro.network.broadcast import BroadcastResult
+from repro.network.message import DEFAULT_SIZES, MessageKind
+from repro.network.structures import TreeBroadcast
+from repro.rm.base import ResourceManager
+from repro.rm.profiles import ESLURM as ESLURM_PROFILE
+from repro.rm.profiles import RMProfile
+from repro.rm.satellite import SatelliteDaemon, SatelliteEvent, SatellitePool
+from repro.simkit.core import Simulator
+
+#: Satellites hold relay state for the whole machine but almost no
+#: per-job state; their memory constants differ from the master's.
+SATELLITE_PROFILE = ESLURM_PROFILE.with_overrides(
+    name="eslurm-satellite",
+    base_vmem_mb=150.0,
+    vmem_per_node_kb=350.0,
+    vmem_per_job_kb=0.0,
+    vmem_growth_mb_per_day=2.0,
+    base_rss_mb=10.0,
+    rss_per_node_kb=8.0,
+    rss_per_job_kb=0.0,
+)
+
+
+class EslurmRM(ResourceManager):
+    """The paper's resource manager (distributed structure + FP-Tree).
+
+    Args:
+        sim / cluster: as the base engine; the cluster must have been
+            built with ``n_satellites >= 1``.
+        profile: defaults to the calibrated ESLURM profile.
+        estimator: a runtime estimator, ``"auto"`` for the paper's
+            framework with deployment defaults, or ``None`` to schedule
+            on user estimates (the FP-Tree-only ablation).
+        use_fptree: ``False`` degrades satellite relays to plain trees
+            (the paper's "ESLURM without FP-Tree" ablation).
+        predictor: failure-prediction plugin for the FP-Tree
+            (defaults to the monitoring-alert predictor).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        profile: RMProfile | None = None,
+        estimator: t.Any = None,
+        use_fptree: bool = True,
+        predictor: FailurePredictor | None = None,
+        **kwargs: t.Any,
+    ) -> None:
+        if estimator == "auto":
+            estimator = EslurmEstimator(
+                EstimatorConfig(aea_gate=0.0, k_clusters=40),
+                rng=np.random.default_rng(sim.rng.seed),
+            )
+        super().__init__(sim, cluster, profile or ESLURM_PROFILE, estimator=estimator, **kwargs)
+        self.sat_pool = SatellitePool(sim, cluster, SATELLITE_PROFILE)
+        self.use_fptree = use_fptree
+        if use_fptree:
+            self.predictor = predictor or MonitorAlertPredictor(cluster)
+        else:
+            self.predictor = NullPredictor()
+        #: one shared engine so FP-Tree construction statistics (the
+        #: leaf-placement experiment of Section VII-A) accumulate.
+        self._fp_engine = FPTreeBroadcast(self.predictor, width=self.profile.tree_width)
+        self._takeover_engine = TreeBroadcast(width=self.profile.tree_width)
+        self._hb_cache_key: tuple[int, int, int] | None = None
+        self._hb_cache_makespan = 0.0
+
+    @property
+    def fptree_stats(self):
+        """Construction statistics (trees built, leaf placements)."""
+        return self._fp_engine.stats
+
+    #: each managed satellite costs the master about this much state,
+    #: expressed in compute-node equivalents (Table V's slow growth of
+    #: master memory/CPU with the satellite count)
+    SATELLITE_NODE_EQUIV = 40
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        super().start()
+        self.master_acct.set_tracked(
+            nodes=self.cluster.n_nodes
+            + self.SATELLITE_NODE_EQUIV * len(self.sat_pool.daemons)
+        )
+        for d in self.sat_pool.daemons:
+            d.acct.start_sampler(self.sample_interval_s)
+        # First heartbeat discovers the satellites (UNKNOWN -> RUNNING).
+        self.sat_pool.heartbeat_all()
+
+    # -- broadcast path ---------------------------------------------------------
+    def _broadcast(self, kind: MessageKind, targets: t.Sequence[int]) -> BroadcastResult:
+        size = DEFAULT_SIZES[kind]
+        s = len(targets)
+        if s == 0:
+            return BroadcastResult("eslurm", 0.0, 0)
+        n = max(self.sat_pool.compute_n(s), 1)
+        parts = self.sat_pool.split(list(targets), n)
+        p = self.profile
+        # Master work: one RPC per satellite task + the list split.
+        self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * len(parts))
+        dispatch_overhead = 0.001 * len(parts)  # serialised task sends
+        makespans: list[float] = []
+        failed: list[int] = []
+        timeouts = 0
+        for part in parts:
+            sat = self.sat_pool.assign_task(len(part))
+            if sat is None:
+                # No healthy satellite left: master takes the task over.
+                res = self._takeover_engine.simulate(
+                    self.cluster.master.node_id, part, size, self.fabric
+                )
+                self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * len(part))
+                self.master_acct.sockets.pulse(
+                    min(p.tree_width, len(part)), max(res.makespan_s, 1e-3)
+                )
+            else:
+                res = self._relay(sat, part, size)
+            makespans.append(res.makespan_s)
+            failed.extend(res.failed)
+            timeouts += res.n_timeouts
+        if makespans:
+            self.master_acct.sockets.pulse(len(parts), max(max(makespans), 1e-3))
+        # Per-level synchronous acks in the satellite relay trees.
+        from repro.rm.base import tree_depth_estimate
+
+        ack_wait = p.launch_ack_s * max(
+            tree_depth_estimate(max(len(part) for part in parts), p.tree_width), 1
+        )
+        return BroadcastResult(
+            structure="eslurm-fptree" if self.use_fptree else "eslurm-tree",
+            makespan_s=dispatch_overhead + ack_wait + max(makespans, default=0.0),
+            n_targets=s,
+            failed=tuple(failed),
+            n_timeouts=timeouts,
+        )
+
+    def _relay(self, sat: SatelliteDaemon, part: list[int], size: int) -> BroadcastResult:
+        """One satellite relays ``part`` via its FP-Tree."""
+        res = self._fp_engine.simulate(sat.node.node_id, part, size, self.fabric)
+        sat.acct.charge_cpu(self.profile.rpc_cpu_us / 1e6 * len(part))
+        sat.acct.sockets.pulse(
+            min(self.profile.tree_width, len(part)), max(res.makespan_s, 1e-3)
+        )
+        sat.handle(SatelliteEvent.BT_SUCCESS)
+        return res
+
+    # -- heartbeats -----------------------------------------------------------------
+    def _heartbeat_round(self) -> None:
+        p = self.profile
+        self.sat_pool.heartbeat_all()
+        running = self.sat_pool.running()
+        n_sats = max(len(running), 1)
+        # Master side: one RPC per satellite, nothing per slave.
+        self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * n_sats)
+        self.master_acct.sockets.pulse(n_sats, 1.0)
+        # Satellite side: each relays the sweep over its share of nodes.
+        n = self.cluster.n_nodes
+        share = n / n_sats
+        for d in running:
+            d.acct.charge_cpu(p.rpc_cpu_us / 1e6 * share)
+            d.acct.sockets.pulse(min(p.tree_width, int(share) or 1), 1.0)
+        # FP-Tree makespan for the sweep: cached against liveness/alerts.
+        key = (self.cluster.version, self.cluster.monitor.alert_count(), n_sats)
+        if key != self._hb_cache_key:
+            targets = self.cluster.compute_ids()
+            parts = self.sat_pool.split(targets, n_sats)
+            makespans = []
+            size = DEFAULT_SIZES[MessageKind.HEARTBEAT]
+            for d, part in zip(running, parts):
+                res = self._fp_engine.simulate(d.node.node_id, part, size, self.fabric)
+                makespans.append(res.makespan_s)
+            self._hb_cache_makespan = max(makespans, default=0.0)
+            self._hb_cache_key = key
+        self.last_heartbeat_makespan_s = self._hb_cache_makespan
+
+    # -- reporting ---------------------------------------------------------------------
+    def report(self, horizon_s: float | None = None):
+        rep = super().report(horizon_s=horizon_s)
+        rep.satellites = self.sat_pool.summaries()
+        return rep

@@ -1,0 +1,236 @@
+"""Satellite nodes: state machine, pool, Eq. 1 allocation, failover.
+
+Satellite semantics from Section III:
+
+* satellites are stateless bidirectional buffers between master and
+  slaves; they relay broadcasts and aggregate responses;
+* the master tracks each satellite through the state machine of Fig. 2
+  / Table II (UNKNOWN, RUNNING, BUSY, FAULT, DOWN driven by BT-*/HB-*
+  events, SHUTDOWN, and a 20-minute FAULT timeout);
+* only RUNNING satellites receive broadcast tasks;
+* Eq. 1 picks how many satellites relay a broadcast to ``s`` slaves::
+
+      N = 1          if s <= w
+          ceil(s/w)  if w < s < m·w
+          m          if s >= m·w
+
+* a satellite failing mid-task is retried on the next satellite in
+  round-robin order; after ``max_reallocations`` (2) the master takes
+  the task over itself.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as t
+from dataclasses import dataclass
+
+from repro.cluster.node import Node
+from repro.cluster.spec import Cluster
+from repro.errors import ConfigurationError
+from repro.rm.accounting import DaemonAccounting
+from repro.rm.profiles import RMProfile
+from repro.simkit.core import Simulator
+
+#: FAULT -> DOWN after this long without recovering (Table II: >= 20 min).
+FAULT_TIMEOUT_S = 20 * 60.0
+
+
+class SatelliteState(enum.Enum):
+    UNKNOWN = "unknown"
+    RUNNING = "running"
+    BUSY = "busy"
+    FAULT = "fault"
+    DOWN = "down"
+
+
+class SatelliteEvent(enum.Enum):
+    BT_START = "bt-start"  # a broadcast task was assigned
+    BT_SUCCESS = "bt-success"
+    BT_FAILURE = "bt-failure"
+    HB_SUCCESS = "hb-success"
+    HB_FAILURE = "hb-failure"
+    SHUTDOWN = "shutdown"
+    TIMEOUT = "timeout"
+
+
+#: (state, event) -> next state.  Unlisted pairs keep the state.
+_TRANSITIONS: dict[tuple[SatelliteState, SatelliteEvent], SatelliteState] = {
+    (SatelliteState.UNKNOWN, SatelliteEvent.HB_SUCCESS): SatelliteState.RUNNING,
+    (SatelliteState.UNKNOWN, SatelliteEvent.HB_FAILURE): SatelliteState.FAULT,
+    (SatelliteState.RUNNING, SatelliteEvent.BT_START): SatelliteState.BUSY,
+    (SatelliteState.RUNNING, SatelliteEvent.HB_FAILURE): SatelliteState.FAULT,
+    (SatelliteState.BUSY, SatelliteEvent.BT_SUCCESS): SatelliteState.RUNNING,
+    (SatelliteState.BUSY, SatelliteEvent.BT_FAILURE): SatelliteState.FAULT,
+    (SatelliteState.BUSY, SatelliteEvent.HB_FAILURE): SatelliteState.FAULT,
+    (SatelliteState.FAULT, SatelliteEvent.HB_SUCCESS): SatelliteState.RUNNING,
+    (SatelliteState.FAULT, SatelliteEvent.TIMEOUT): SatelliteState.DOWN,
+}
+
+
+@dataclass
+class SatelliteStats:
+    """Operational counters behind Table VI."""
+
+    tasks_received: int = 0
+    nodes_in_tasks: int = 0
+    tasks_failed: int = 0
+
+    @property
+    def avg_nodes_per_task(self) -> float:
+        return self.nodes_in_tasks / self.tasks_received if self.tasks_received else 0.0
+
+
+class SatelliteDaemon:
+    """One satellite: node handle + state machine + accounting."""
+
+    def __init__(self, sim: Simulator, node: Node, profile: RMProfile) -> None:
+        self.sim = sim
+        self.node = node
+        self.state = SatelliteState.UNKNOWN
+        self.acct = DaemonAccounting(sim, profile, f"satellite.{node.name}")
+        self.stats = SatelliteStats()
+        self._fault_since: float | None = None
+
+    def handle(self, event: SatelliteEvent) -> SatelliteState:
+        """Apply one event; returns the new state."""
+        if event is SatelliteEvent.SHUTDOWN:
+            self.state = SatelliteState.DOWN
+            return self.state
+        new = _TRANSITIONS.get((self.state, event), self.state)
+        if new is SatelliteState.FAULT and self.state is not SatelliteState.FAULT:
+            self._fault_since = self.sim.now
+        elif new is not SatelliteState.FAULT:
+            self._fault_since = None
+        self.state = new
+        return new
+
+    def heartbeat(self) -> None:
+        """Master-driven health check: emits HB events from liveness and
+        escalates a long FAULT to DOWN (Table II's TIMEOUT)."""
+        if self.state is SatelliteState.DOWN:
+            return
+        if self.node.responsive:
+            self.handle(SatelliteEvent.HB_SUCCESS)
+        else:
+            self.handle(SatelliteEvent.HB_FAILURE)
+        if (
+            self.state is SatelliteState.FAULT
+            and self._fault_since is not None
+            and self.sim.now - self._fault_since >= FAULT_TIMEOUT_S
+        ):
+            self.handle(SatelliteEvent.TIMEOUT)
+
+    def revive(self) -> None:
+        """Administrator intervention for a DOWN satellite."""
+        self.node.recover()
+        self.state = SatelliteState.UNKNOWN
+        self._fault_since = None
+
+
+class SatellitePool:
+    """The master's view of all satellites: allocation and failover."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        profile: RMProfile,
+        width: int | None = None,
+        max_reallocations: int = 2,
+    ) -> None:
+        if not cluster.satellites:
+            raise ConfigurationError("ESLURM needs at least one satellite node")
+        self.sim = sim
+        self.cluster = cluster
+        self.width = width or profile.tree_width
+        self.max_reallocations = max_reallocations
+        self.daemons = [SatelliteDaemon(sim, node, profile) for node in cluster.satellites]
+        # Satellites keep full cluster state for relaying (Table VI's
+        # large satellite vmem): declare it for the memory model.
+        for d in self.daemons:
+            d.acct.set_tracked(nodes=cluster.n_nodes)
+        self._rr = 0
+        #: broadcast tasks the master had to execute itself
+        self.master_takeovers = 0
+
+    def __len__(self) -> int:
+        return len(self.daemons)
+
+    # -- Eq. 1 -------------------------------------------------------------
+    def compute_n(self, s: int) -> int:
+        """Number of satellites for a broadcast to ``s`` slave nodes."""
+        if s <= 0:
+            return 0
+        w, m = self.width, len(self.daemons)
+        if s <= w:
+            return 1
+        if s >= m * w:
+            return m
+        return min(-(-s // w), m)
+
+    @staticmethod
+    def split(targets: t.Sequence[int], n: int) -> list[list[int]]:
+        """Equal contiguous partition of the target list into ``n`` parts."""
+        if n <= 0:
+            return []
+        base, extra = divmod(len(targets), n)
+        parts = []
+        start = 0
+        for i in range(n):
+            size = base + (1 if i < extra else 0)
+            parts.append(list(targets[start : start + size]))
+            start += size
+        return [p for p in parts if p]
+
+    # -- selection & failover ------------------------------------------------
+    def heartbeat_all(self) -> None:
+        for d in self.daemons:
+            d.heartbeat()
+
+    def running(self) -> list[SatelliteDaemon]:
+        return [d for d in self.daemons if d.state is SatelliteState.RUNNING]
+
+    def next_running(self) -> SatelliteDaemon | None:
+        """Round-robin pick among RUNNING satellites (None if none)."""
+        n = len(self.daemons)
+        for _ in range(n):
+            d = self.daemons[self._rr % n]
+            self._rr += 1
+            if d.state is SatelliteState.RUNNING:
+                return d
+        return None
+
+    def assign_task(self, n_target_nodes: int) -> SatelliteDaemon | None:
+        """Pick a satellite for a broadcast task, with failover.
+
+        Satellites that turn out dead get BT_FAILURE (-> FAULT) and the
+        task moves to the next candidate; after ``max_reallocations``
+        failed attempts the caller must let the master take over
+        (returns ``None``).
+        """
+        attempts = 0
+        while attempts <= self.max_reallocations:
+            d = self.next_running()
+            if d is None:
+                break
+            d.handle(SatelliteEvent.BT_START)
+            if d.node.responsive:
+                d.stats.tasks_received += 1
+                d.stats.nodes_in_tasks += n_target_nodes
+                return d
+            # Dead despite RUNNING state: failure during the task.
+            d.stats.tasks_failed += 1
+            d.handle(SatelliteEvent.BT_FAILURE)
+            attempts += 1
+        self.master_takeovers += 1
+        return None
+
+    def summaries(self) -> list[dict[str, float]]:
+        out = []
+        for d in self.daemons:
+            s = d.acct.summary()
+            s["tasks_received"] = float(d.stats.tasks_received)
+            s["avg_nodes_per_task"] = d.stats.avg_nodes_per_task
+            out.append(s)
+        return out

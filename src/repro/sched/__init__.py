@@ -1,0 +1,30 @@
+"""Job scheduling: job model, node pool, FCFS and EASY-backfill policies.
+
+The paper evaluates every RM with the backfill scheduling algorithm
+(Section VII-D); the quality of backfill decisions is exactly where the
+job-runtime estimation framework earns its utilization gains — backfill
+can only slot a job into a hole if the *believed* runtimes of the jobs
+around the hole are accurate.
+
+Policies are pure decision procedures over a :class:`NodePool` snapshot,
+so they are unit-testable without a simulator; the RM engines drive them
+from discrete events.
+"""
+
+from repro.sched.allocator import NodePool
+from repro.sched.backfill import BackfillScheduler
+from repro.sched.fcfs import FcfsScheduler
+from repro.sched.job import Job, JobState
+from repro.sched.metrics import ScheduleMetrics, bounded_slowdown
+from repro.sched.queue import JobQueue
+
+__all__ = [
+    "Job",
+    "JobState",
+    "JobQueue",
+    "NodePool",
+    "FcfsScheduler",
+    "BackfillScheduler",
+    "ScheduleMetrics",
+    "bounded_slowdown",
+]

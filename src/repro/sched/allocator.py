@@ -1,0 +1,114 @@
+"""Node allocation: the free pool and running-job bookkeeping.
+
+The pool is the scheduler's view of the machine: which compute nodes are
+free, which job holds which nodes, and — crucially for backfill — when
+each running job is *believed* to end (its start time plus wall limit).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.sched.job import Job
+
+
+@dataclass
+class RunningJob:
+    """Bookkeeping for one running job."""
+
+    job: Job
+    node_ids: tuple[int, ...]
+    believed_end: float
+
+
+class NodePool:
+    """Free-set + running-set over a fixed universe of compute nodes."""
+
+    def __init__(self, node_ids: t.Iterable[int]) -> None:
+        universe = list(node_ids)
+        if len(set(universe)) != len(universe):
+            raise SchedulingError("duplicate node ids in pool")
+        self._universe: set[int] = set(universe)
+        #: sorted free list gives first-fit-by-id determinism
+        self._free: set[int] = set(universe)
+        self._down: set[int] = set()
+        self.running: dict[int, RunningJob] = {}
+
+    # -- capacity ----------------------------------------------------------
+    @property
+    def n_total(self) -> int:
+        return len(self._universe)
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def n_down(self) -> int:
+        return len(self._down)
+
+    @property
+    def n_busy(self) -> int:
+        return self.n_total - self.n_free - self.n_down
+
+    def fits(self, job: Job) -> bool:
+        return job.n_nodes <= self.n_free
+
+    # -- allocation -----------------------------------------------------------
+    def allocate(self, job: Job, now: float) -> tuple[int, ...]:
+        """First-fit-by-id allocation of ``job.n_nodes`` free nodes."""
+        if not self.fits(job):
+            raise SchedulingError(
+                f"job {job.job_id}: wants {job.n_nodes} nodes, {self.n_free} free"
+            )
+        chosen = tuple(sorted(self._free)[: job.n_nodes])
+        self._free.difference_update(chosen)
+        # Reservations must rest on the *kill limit* — the only bound the
+        # system enforces.  Planning estimates (job.planned_s) steer
+        # backfill eligibility, never reservation safety.
+        self.running[job.job_id] = RunningJob(job, chosen, now + job.limit_s)
+        return chosen
+
+    def release(self, job_id: int) -> tuple[int, ...]:
+        """Free the nodes of a finished job; returns them."""
+        try:
+            rec = self.running.pop(job_id)
+        except KeyError:
+            raise SchedulingError(f"job {job_id}: not running") from None
+        back = tuple(nid for nid in rec.node_ids if nid not in self._down)
+        self._free.update(back)
+        return rec.node_ids
+
+    # -- failures ---------------------------------------------------------------
+    def mark_down(self, node_id: int) -> int | None:
+        """Remove a node from service; returns the running job it kills."""
+        if node_id not in self._universe:
+            raise SchedulingError(f"node {node_id} not in pool")
+        self._down.add(node_id)
+        self._free.discard(node_id)
+        for job_id, rec in self.running.items():
+            if node_id in rec.node_ids:
+                return job_id
+        return None
+
+    def mark_up(self, node_id: int) -> None:
+        """Return a repaired node to the free pool."""
+        if node_id not in self._universe:
+            raise SchedulingError(f"node {node_id} not in pool")
+        if node_id in self._down:
+            self._down.discard(node_id)
+            held = any(node_id in rec.node_ids for rec in self.running.values())
+            if not held:
+                self._free.add(node_id)
+
+    # -- backfill support ---------------------------------------------------
+    def believed_ends(self) -> list[tuple[float, int]]:
+        """``(believed_end, n_nodes)`` of running jobs, soonest first."""
+        return sorted((rec.believed_end, len(rec.node_ids)) for rec in self.running.values())
+
+    def utilization_now(self) -> float:
+        """Fraction of non-down nodes currently busy."""
+        denom = self.n_total - self.n_down
+        return self.n_busy / denom if denom else 0.0

@@ -1,0 +1,147 @@
+"""The job model shared by schedulers, RMs, and the estimator.
+
+A job carries two runtimes: ``runtime_s`` — the *actual* duration,
+hidden from the scheduler until completion — and ``user_estimate_s`` —
+what the user asked for (the wall-time limit).  The paper's Fig. 5a
+shows users overestimate 80–90 % of the time; ESLURM substitutes a
+model estimate (times a slack α) when its cluster-level accuracy is
+good enough.  Whatever the scheduler believes is stored in ``limit_s``:
+jobs running past their limit are killed (state ``TIMEOUT``), which is
+why *under*-estimation is penalised so heavily (Table VIII's UR metric).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    TIMEOUT = "timeout"  # killed at its wall-time limit
+    CANCELLED = "cancelled"
+    FAILED = "failed"  # node failure etc.
+
+#: States a job can no longer leave.
+TERMINAL_STATES = frozenset({JobState.COMPLETED, JobState.TIMEOUT, JobState.CANCELLED, JobState.FAILED})
+
+
+@dataclass
+class Job:
+    """One batch job.
+
+    Args:
+        job_id: unique, monotonically increasing id.
+        name: job-script name (a key locality feature, Table IV).
+        user: submitting user (Table IV).
+        n_nodes: nodes requested.
+        runtime_s: true runtime (hidden from the scheduler).
+        user_estimate_s: user-submitted wall-time request; ``None`` when
+            the user declined to give one.
+        submit_time: submission timestamp (simulated seconds).
+        cores_per_node: cores used on each allocated node.
+    """
+
+    job_id: int
+    name: str
+    user: str
+    n_nodes: int
+    runtime_s: float
+    user_estimate_s: float | None
+    submit_time: float
+    cores_per_node: int = 1
+
+    # -- scheduler-managed fields -------------------------------------
+    state: JobState = JobState.PENDING
+    limit_s: float = field(default=0.0)  # kill limit (wall limit)
+    #: the scheduler's *planning* belief about the runtime — what
+    #: backfill reservations trust.  A runtime estimator improves this
+    #: without touching the kill limit, so a model underestimate costs
+    #: some backfill accuracy but never kills the job.
+    planned_s: float = field(default=0.0)
+    start_time: float | None = None
+    end_time: float | None = None
+    allocated_nodes: tuple[int, ...] = ()
+    #: model estimate recorded for estimator bookkeeping (pre-slack)
+    model_estimate_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise SchedulingError(f"job {self.job_id}: needs at least one node")
+        if self.runtime_s <= 0:
+            raise SchedulingError(f"job {self.job_id}: runtime must be positive")
+        if self.user_estimate_s is not None and self.user_estimate_s <= 0:
+            raise SchedulingError(f"job {self.job_id}: user estimate must be positive")
+        if self.limit_s == 0.0:
+            # Default belief: the user's estimate, else the true runtime
+            # (a perfectly-informed fallback used by baseline runs).
+            self.limit_s = self.user_estimate_s if self.user_estimate_s else self.runtime_s
+        if self.planned_s == 0.0:
+            self.planned_s = self.limit_s
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, now: float, nodes: t.Sequence[int]) -> None:
+        if self.state is not JobState.PENDING:
+            raise SchedulingError(f"job {self.job_id}: start from state {self.state.value}")
+        if len(nodes) != self.n_nodes:
+            raise SchedulingError(
+                f"job {self.job_id}: allocated {len(nodes)} nodes, wanted {self.n_nodes}"
+            )
+        self.state = JobState.RUNNING
+        self.start_time = now
+        self.allocated_nodes = tuple(nodes)
+
+    def finish(self, now: float, state: JobState = JobState.COMPLETED) -> None:
+        if self.state is not JobState.RUNNING:
+            raise SchedulingError(f"job {self.job_id}: finish from state {self.state.value}")
+        if state not in TERMINAL_STATES:
+            raise SchedulingError(f"job {self.job_id}: {state.value} is not terminal")
+        self.state = state
+        self.end_time = now
+
+    def cancel(self, now: float) -> None:
+        if self.state in TERMINAL_STATES:
+            raise SchedulingError(f"job {self.job_id}: already terminal")
+        self.state = JobState.CANCELLED
+        self.end_time = now
+
+    # -- derived quantities -----------------------------------------------
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def effective_runtime_s(self) -> float:
+        """What the job will actually run for, given its wall limit."""
+        return min(self.runtime_s, self.limit_s)
+
+    @property
+    def will_timeout(self) -> bool:
+        """Whether the wall limit truncates the job (an underestimate)."""
+        return self.limit_s < self.runtime_s
+
+    @property
+    def wait_time(self) -> float:
+        if self.start_time is None:
+            raise SchedulingError(f"job {self.job_id}: not started")
+        return self.start_time - self.submit_time
+
+    @property
+    def response_time(self) -> float:
+        if self.end_time is None:
+            raise SchedulingError(f"job {self.job_id}: not finished")
+        return self.end_time - self.submit_time
+
+    @property
+    def node_seconds(self) -> float:
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        return self.n_nodes * (self.end_time - self.start_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Job {self.job_id} {self.name!r} n={self.n_nodes} {self.state.value}>"

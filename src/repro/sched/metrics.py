@@ -1,0 +1,119 @@
+"""Scheduling quality metrics (Section VII-D).
+
+Three metrics, defined exactly as the paper does:
+
+* **system utilization** — node-hours running jobs over total elapsed
+  node-hours;
+* **average waiting time** — submission to start;
+* **average bounded slowdown** — Eq. 6 with the short-job guard
+  τ = 10 s::
+
+      slowdown = max((t_w + t_r) / max(t_r, τ), 1)
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.sched.job import Job, JobState
+
+#: Eq. 6's τ: guards the slowdown of extremely short jobs.
+DEFAULT_TAU_S = 10.0
+
+
+def bounded_slowdown(wait_s: float, runtime_s: float, tau_s: float = DEFAULT_TAU_S) -> float:
+    """Eq. 6 for one job."""
+    if runtime_s < 0 or wait_s < 0:
+        raise SchedulingError("wait/runtime cannot be negative")
+    return max((wait_s + runtime_s) / max(runtime_s, tau_s), 1.0)
+
+
+@dataclass
+class ScheduleMetrics:
+    """Aggregate metrics over one scheduling run."""
+
+    n_jobs: int
+    n_completed: int
+    n_timeout: int
+    n_failed: int
+    utilization: float
+    avg_wait_s: float
+    avg_slowdown: float
+    makespan_s: float
+    total_node_seconds: float
+
+    @classmethod
+    def from_jobs(
+        cls,
+        jobs: t.Sequence[Job],
+        n_nodes: int,
+        horizon_s: float | None = None,
+        tau_s: float = DEFAULT_TAU_S,
+    ) -> "ScheduleMetrics":
+        """Compute metrics from finished (and unfinished) jobs.
+
+        Args:
+            jobs: every job submitted in the run.
+            n_nodes: machine size (for utilization's denominator).
+            horizon_s: elapsed wall-clock of the run; defaults to the
+                last job-end time.
+            tau_s: Eq. 6's τ.
+        """
+        if n_nodes < 1:
+            raise SchedulingError("n_nodes must be positive")
+        started = [j for j in jobs if j.start_time is not None]
+        # cancelled-before-start jobs have an end time but never ran
+        ended = [j for j in started if j.end_time is not None]
+        if horizon_s is None:
+            horizon_s = max((j.end_time for j in ended), default=0.0)
+        # Utilization counts *useful* node-hours: completed jobs and jobs
+        # still running at the horizon.  Work destroyed by wall-limit
+        # kills, node failures, or an RM crash orphaning its jobs ran on
+        # the machine but served nobody.
+        busy = sum(
+            j.n_nodes * (min(j.end_time, horizon_s) - j.start_time)
+            for j in ended
+            if j.end_time > j.start_time and j.state is JobState.COMPLETED
+        )
+        # Jobs still running at the horizon contribute their elapsed part.
+        busy += sum(
+            j.n_nodes * (horizon_s - j.start_time)
+            for j in started
+            if j.end_time is None and j.start_time < horizon_s
+        )
+        total = n_nodes * horizon_s
+        waits = np.array([j.wait_time for j in started], dtype=float)
+        slowdowns = np.array(
+            [
+                bounded_slowdown(j.wait_time, j.end_time - j.start_time, tau_s)
+                for j in ended
+                if j.start_time is not None
+            ],
+            dtype=float,
+        )
+        return cls(
+            n_jobs=len(jobs),
+            n_completed=sum(j.state is JobState.COMPLETED for j in jobs),
+            n_timeout=sum(j.state is JobState.TIMEOUT for j in jobs),
+            n_failed=sum(j.state is JobState.FAILED for j in jobs),
+            utilization=busy / total if total > 0 else 0.0,
+            avg_wait_s=float(waits.mean()) if waits.size else 0.0,
+            avg_slowdown=float(slowdowns.mean()) if slowdowns.size else 0.0,
+            makespan_s=horizon_s,
+            total_node_seconds=busy,
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-block report."""
+        return (
+            f"jobs={self.n_jobs} completed={self.n_completed} "
+            f"timeout={self.n_timeout} failed={self.n_failed}\n"
+            f"utilization={self.utilization:.1%} "
+            f"avg_wait={self.avg_wait_s:.1f}s "
+            f"avg_slowdown={self.avg_slowdown:.2f} "
+            f"makespan={self.makespan_s:.0f}s"
+        )

@@ -1,0 +1,56 @@
+"""The pending-job queue (FIFO with positional lookups for backfill)."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SchedulingError
+from repro.sched.job import Job, JobState
+
+
+class JobQueue:
+    """FIFO queue of pending jobs.
+
+    Backfill needs ordered iteration beyond the head, so this is a list
+    with O(1) membership checks rather than a deque.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: list[Job] = []
+        self._ids: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)
+
+    def __contains__(self, job: Job) -> bool:
+        return job.job_id in self._ids
+
+    def __iter__(self) -> t.Iterator[Job]:
+        return iter(self._jobs)
+
+    def submit(self, job: Job) -> None:
+        """Append a pending job."""
+        if job.state is not JobState.PENDING:
+            raise SchedulingError(f"job {job.job_id}: only pending jobs can be queued")
+        if job.job_id in self._ids:
+            raise SchedulingError(f"job {job.job_id}: already queued")
+        self._jobs.append(job)
+        self._ids.add(job.job_id)
+
+    def head(self) -> Job | None:
+        """Oldest pending job, or ``None``."""
+        return self._jobs[0] if self._jobs else None
+
+    def remove(self, job: Job) -> None:
+        """Remove a job (started or cancelled)."""
+        if job.job_id not in self._ids:
+            raise SchedulingError(f"job {job.job_id}: not in queue")
+        self._jobs.remove(job)
+        self._ids.discard(job.job_id)
+
+    def pending_after_head(self) -> list[Job]:
+        """Jobs behind the head, in order (backfill candidates)."""
+        return self._jobs[1:]

@@ -1,0 +1,41 @@
+"""A small, deterministic discrete-event simulation kernel.
+
+The kernel follows the process-interaction style popularised by SimPy:
+simulation activities are written as Python generators that ``yield``
+events (timeouts, store gets, other processes) and are resumed when the
+event fires.  Determinism is guaranteed by a total ordering on the event
+heap — ``(time, priority, sequence)`` — and by routing all randomness
+through named :class:`~repro.simkit.rng.RngRegistry` streams.
+
+Public surface::
+
+    Simulator        -- the event loop / clock
+    Event, Timeout   -- primitive events
+    AllOf, AnyOf     -- event combinators
+    Process          -- a running generator activity
+    Store, Resource  -- queueing primitives
+    RngRegistry      -- named, seeded numpy Generator streams
+    TimeSeries, Counter, Tally -- measurement utilities
+"""
+
+from repro.simkit.core import Simulator
+from repro.simkit.events import AllOf, AnyOf, Event, Timeout
+from repro.simkit.monitor import Counter, Tally, TimeSeries
+from repro.simkit.process import Process
+from repro.simkit.resources import Resource, Store
+from repro.simkit.rng import RngRegistry
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Store",
+    "Resource",
+    "RngRegistry",
+    "TimeSeries",
+    "Counter",
+    "Tally",
+]

@@ -1,0 +1,151 @@
+"""The simulator: event heap, clock, and run loop.
+
+The heap is ordered by ``(time, priority, sequence)`` so that two runs
+with the same inputs replay identically — the sequence counter breaks
+ties deterministically in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as t
+from itertools import count
+
+from repro.errors import SimulationError
+from repro.simkit.events import PRIORITY_NORMAL, PRIORITY_URGENT, Event, Timeout
+from repro.simkit.process import Process
+from repro.simkit.rng import RngRegistry
+
+_INFINITY = float("inf")
+
+
+class _StopSimulation(Exception):
+    """Internal control-flow signal used by ``run(until=event)``."""
+
+    def __init__(self, value: t.Any) -> None:
+        super().__init__()
+        self.value = value
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Args:
+        seed: master seed for the attached :class:`RngRegistry`; every
+            component draws randomness from named sub-streams so
+            experiments replay bit-identically.
+        start_time: initial clock value (seconds by convention).
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self.rng = RngRegistry(seed)
+        #: number of events processed so far (observability / debugging)
+        self.events_processed = 0
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- event factories --------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event owned by this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: t.Any = None) -> Timeout:
+        """Create an event that fires ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: t.Generator[Event, t.Any, t.Any], name: str = "") -> Process:
+        """Start running ``generator`` as a simulation process."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, priority: int = PRIORITY_NORMAL, delay: float = 0.0) -> None:
+        """Queue a triggered event to fire ``delay`` units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else _INFINITY
+
+    def step(self) -> None:
+        """Process exactly one event; raises if the heap is empty."""
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise SimulationError("step() on an empty event heap") from None
+        if when < self._now:  # pragma: no cover - defensive, unreachable
+            raise SimulationError("event heap went backwards in time")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+        self.events_processed += 1
+        if not event.ok and not event.defused:
+            raise t.cast(BaseException, event.value)
+
+    # -- run loop ------------------------------------------------------------
+    def run(self, until: float | Event | None = None) -> t.Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        Args:
+            until: ``None`` runs to exhaustion; a number runs until the
+                clock reaches it (the clock is advanced to exactly that
+                value); an :class:`Event` runs until it fires and returns
+                its value.
+        """
+        deadline = _INFINITY
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            if until.processed:
+                return until.value
+            assert until.callbacks is not None
+            until.callbacks.append(self._stop_on)
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"run(until={deadline}) is in the past (now={self._now})"
+                )
+        try:
+            while self._heap and self.peek() <= deadline:
+                self.step()
+        except _StopSimulation as stop:
+            return stop.value
+        if deadline is not _INFINITY:
+            self._now = deadline
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError("run(until=event): event heap drained before event fired")
+        return None
+
+    @staticmethod
+    def _stop_on(event: Event) -> None:
+        if not event.ok:
+            event.defused = True
+            raise t.cast(BaseException, event.value)
+        raise _StopSimulation(event.value)
+
+    # -- convenience ---------------------------------------------------------
+    def call_at(self, when: float, func: t.Callable[[], None]) -> Event:
+        """Invoke ``func()`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self._now})")
+        ev = self.event()
+        ev._ok = True  # noqa: SLF001 - kernel-internal fast path
+        ev._value = None  # noqa: SLF001
+        assert ev.callbacks is not None
+        ev.callbacks.append(lambda _ev: func())
+        heapq.heappush(self._heap, (when, PRIORITY_URGENT, next(self._seq), ev))
+        return ev
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6g} pending={len(self._heap)}>"

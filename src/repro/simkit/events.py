@@ -1,0 +1,184 @@
+"""Primitive events for the discrete-event kernel.
+
+An :class:`Event` moves through three phases:
+
+* *pending* — created but not yet scheduled to fire;
+* *triggered* — given a value (or an exception) and queued on the
+  simulator heap;
+* *processed* — its callbacks have run.
+
+Processes wait on events by ``yield``-ing them; the kernel registers the
+process as a callback and resumes it with the event's value.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SimulationError
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkit.core import Simulator
+
+# Heap priorities: lower fires first among events at the same time.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Args:
+        sim: owning simulator.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[t.Callable[[Event], None]] | None = []
+        self._value: t.Any = _PENDING
+        self._ok: bool | None = None
+        #: True once a failure's exception has been consumed by a waiter.
+        self.defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been given a value and scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> t.Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: t.Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule the event to fire with an exception.
+
+        A failed event that nobody waits on re-raises at the end of the
+        run unless :attr:`defused` is set.
+        """
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy another event's outcome onto this one (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(t.cast(BaseException, event._value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: t.Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim.schedule(self, PRIORITY_NORMAL, delay)
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` combinators."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: t.Sequence[Event]) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+            if ev.processed:
+                self._check(ev)
+            else:
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._check)
+        if not self.events and not self.triggered:
+            self.succeed({})
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, t.Any]:
+        # Note `processed`, not `triggered`: a Timeout carries its value from
+        # construction (so it *looks* triggered), but has only actually fired
+        # once its callbacks have run.
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+
+class AllOf(Condition):
+    """Fires once every child event has fired; value maps event -> value."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(t.cast(BaseException, event.value))
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Fires as soon as one child fires; value maps fired events -> values."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(t.cast(BaseException, event.value))
+            return
+        self.succeed(self._collect())

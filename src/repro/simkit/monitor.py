@@ -1,0 +1,151 @@
+"""Measurement utilities: time series, counters and tallies.
+
+The paper's figures are mostly *resource-usage-over-time* curves sampled
+once per second (Fig. 7, Fig. 9) or summary statistics over a run
+(Tables V, VI, VIII).  These classes are the in-simulation recorders
+that produce them.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as t
+
+import numpy as np
+
+
+class TimeSeries:
+    """An append-only ``(time, value)`` series with summary helpers."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time series {self.name!r} went backwards: "
+                f"{time} < {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def last(self) -> float:
+        """Most recent value (0.0 when empty)."""
+        return self._values[-1] if self._values else 0.0
+
+    def mean(self) -> float:
+        """Plain mean of the sampled values (0.0 when empty)."""
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    def max(self) -> float:
+        return float(np.max(self._values)) if self._values else 0.0
+
+    def time_average(self, until: float | None = None) -> float:
+        """Step-function time-weighted average of the series.
+
+        Each value is held until the next sample; the final value is held
+        until ``until`` (defaults to the last sample time, which then
+        contributes zero width).
+        """
+        if not self._times:
+            return 0.0
+        times = np.asarray(self._times)
+        values = np.asarray(self._values)
+        end = float(until) if until is not None else times[-1]
+        if end < times[-1]:
+            raise ValueError("time_average until= precedes last sample")
+        widths = np.diff(np.append(times, end))
+        total = end - times[0]
+        if total <= 0:
+            return float(values[-1])
+        return float(np.dot(values, widths) / total)
+
+    def resample(self, step: float, until: float | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Step-hold resampling onto a regular grid (for plotting/benches)."""
+        if step <= 0:
+            raise ValueError("resample step must be positive")
+        if not self._times:
+            return np.array([]), np.array([])
+        times = self.times
+        values = self.values
+        end = float(until) if until is not None else times[-1]
+        grid = np.arange(times[0], end + step / 2, step)
+        idx = np.searchsorted(times, grid, side="right") - 1
+        idx = np.clip(idx, 0, len(values) - 1)
+        return grid, values[idx]
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Tally for signed data")
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+
+class Tally:
+    """Streaming summary statistics (Welford) without storing samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: t.Iterable[float]) -> None:
+        for v in values:
+            self.record(v)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 with fewer than two samples."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self.n else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.n else 0.0

@@ -1,0 +1,120 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~repro.simkit.events.Event`
+objects.  The kernel resumes the generator with the event's value when it
+fires (or throws the event's exception into it).  A :class:`Process` is
+itself an event that fires with the generator's return value, so processes
+can wait on each other.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.simkit.events import PRIORITY_URGENT, Event
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkit.core import Simulator
+
+
+class Process(Event):
+    """A running generator activity; also an event for its completion."""
+
+    __slots__ = ("name", "_generator", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: t.Generator[Event, t.Any, t.Any],
+        name: str = "",
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Bootstrap: resume for the first time via an immediately-fired event.
+        init = Event(sim)
+        init._ok = True  # noqa: SLF001 - kernel-internal
+        init._value = None  # noqa: SLF001
+        assert init.callbacks is not None
+        init.callbacks.append(self._resume)
+        sim.schedule(init, PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: t.Any = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        waiting on an event detaches it from that event first.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        ev = Event(self.sim)
+        ev._ok = False  # noqa: SLF001
+        ev._value = ProcessInterrupt(cause)  # noqa: SLF001
+        ev.defused = True
+        assert ev.callbacks is not None
+        ev.callbacks.append(self._resume)
+        self.sim.schedule(ev, PRIORITY_URGENT)
+
+    # -- kernel callback ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:  # interrupted after completion already delivered
+            return
+        # Detach from the event we were waiting on (interrupt case).
+        waited = self._waiting_on
+        if waited is not None and waited is not event and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                event.defused = True
+                target = self._generator.throw(t.cast(BaseException, event.value))
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate through event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            try:
+                self._generator.throw(exc)
+            except BaseException as err:  # noqa: BLE001
+                self.fail(err)
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("yielded event belongs to another simulator"))
+            return
+        if target.processed:
+            # Already fired: resume immediately (still via the heap for
+            # deterministic ordering at the current time).
+            ev = Event(self.sim)
+            ev._ok = target._ok  # noqa: SLF001
+            ev._value = target._value  # noqa: SLF001
+            ev.defused = True
+            assert ev.callbacks is not None
+            ev.callbacks.append(self._resume)
+            self.sim.schedule(ev, PRIORITY_URGENT)
+        else:
+            assert target.callbacks is not None
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,110 @@
+"""Queueing primitives: FIFO stores and counted resources.
+
+These are the only synchronisation mechanisms processes need in this
+library: a :class:`Store` models mailboxes / work queues (the satellite
+task queue, the RPC inbox of a daemon) and a :class:`Resource` models a
+pool of interchangeable units (e.g. concurrently-processed RPC slots).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.simkit.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkit.core import Simulator
+
+
+class Store:
+    """An unbounded (or bounded) FIFO buffer of Python objects."""
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque[t.Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, t.Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: t.Any) -> Event:
+        """Insert ``item``; the returned event fires once inserted."""
+        ev = Event(self.sim)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+            self._service_getters()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; the returned event fires with it."""
+        ev = Event(self.sim)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._service_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> t.Any | None:
+        """Non-blocking get: the oldest item, or ``None`` when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._service_putters()
+        return item
+
+    def _service_getters(self) -> None:
+        while self.items and self._getters:
+            self._getters.popleft().succeed(self.items.popleft())
+
+    def _service_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            ev, item = self._putters.popleft()
+            self.items.append(item)
+            ev.succeed()
+            self._service_getters()
+
+
+class Resource:
+    """A pool of ``capacity`` identical units acquired one at a time."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self.in_use
+
+    def acquire(self) -> Event:
+        """Request one unit; fires once granted."""
+        ev = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return one unit; hands it to the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without matching acquire()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1

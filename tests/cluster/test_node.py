@@ -1,0 +1,104 @@
+"""Tests for the node model."""
+
+import pytest
+
+from repro.cluster.node import HardwareSpec, Node, NodeRole, NodeState
+from repro.errors import ClusterError
+
+
+def make_node(**kw):
+    defaults = dict(node_id=0, name="cn00000")
+    defaults.update(kw)
+    return Node(**defaults)
+
+
+class TestNodeValidation:
+    def test_negative_id_rejected(self):
+        with pytest.raises(ClusterError):
+            make_node(node_id=-1)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ClusterError):
+            make_node(cores=0)
+
+    def test_defaults(self):
+        n = make_node()
+        assert n.role is NodeRole.COMPUTE
+        assert n.state is NodeState.UP
+        assert n.responsive
+        assert n.allocatable
+
+
+class TestNodeTransitions:
+    def test_fail_and_recover(self):
+        n = make_node()
+        n.fail()
+        assert n.state is NodeState.DOWN
+        assert not n.responsive
+        assert not n.allocatable
+        n.recover()
+        assert n.state is NodeState.UP
+
+    def test_fail_idempotent(self):
+        n = make_node()
+        n.fail()
+        n.fail()
+        assert n.state is NodeState.DOWN
+
+    def test_recover_only_from_down(self):
+        n = make_node()
+        n.recover()  # UP stays UP
+        assert n.state is NodeState.UP
+        n.drain()
+        n.recover()  # DRAINED is not auto-recovered
+        assert n.state is NodeState.DRAINED
+
+    def test_drain_blocks_fail(self):
+        n = make_node()
+        n.drain()
+        n.fail()
+        assert n.state is NodeState.DRAINED
+        n.undrain()
+        assert n.state is NodeState.UP
+
+    def test_allocate_release_cycle(self):
+        n = make_node()
+        n.allocate(job_id=42)
+        assert n.state is NodeState.ALLOC
+        assert n.running_job == 42
+        assert n.responsive  # allocated nodes still answer messages
+        assert not n.allocatable
+        n.release()
+        assert n.state is NodeState.UP
+        assert n.running_job is None
+
+    def test_double_allocate_rejected(self):
+        n = make_node()
+        n.allocate(1)
+        with pytest.raises(ClusterError):
+            n.allocate(2)
+
+    def test_allocate_down_node_rejected(self):
+        n = make_node()
+        n.fail()
+        with pytest.raises(ClusterError):
+            n.allocate(1)
+
+    def test_fail_while_allocated_then_recover_clears_job(self):
+        n = make_node()
+        n.allocate(7)
+        n.fail()
+        assert n.running_job == 7  # job binding survives until recovery
+        n.recover()
+        assert n.running_job is None
+
+
+class TestHardwareSpec:
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ClusterError):
+            HardwareSpec(cores=0)
+
+    def test_frozen(self):
+        hw = HardwareSpec()
+        with pytest.raises(AttributeError):
+            hw.cores = 5  # type: ignore[misc]

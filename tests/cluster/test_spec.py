@@ -1,0 +1,89 @@
+"""Tests for ClusterSpec and the live Cluster."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeRole
+from repro.errors import ClusterError, ConfigurationError
+from repro.simkit import Simulator
+
+
+def small_cluster(n=64, sats=2, seed=0):
+    sim = Simulator(seed=seed)
+    return sim, ClusterSpec(n_nodes=n, n_satellites=sats).build(sim)
+
+
+class TestSpec:
+    def test_presets(self):
+        assert ClusterSpec.tianhe2a().n_nodes == 16_384
+        assert ClusterSpec.tianhe2a(n_nodes=4096).n_nodes == 4096
+        assert ClusterSpec.ng_tianhe().n_nodes == 20_480
+        assert ClusterSpec.ng_tianhe().n_satellites == 20
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n_nodes=0)
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n_satellites=-1)
+
+    def test_with_satellites(self):
+        spec = ClusterSpec(n_nodes=10).with_satellites(7)
+        assert spec.n_satellites == 7
+        assert spec.n_nodes == 10
+
+    def test_total_cores(self):
+        spec = ClusterSpec.tianhe2a(n_nodes=100)
+        assert spec.total_cores == 100 * 12
+
+
+class TestCluster:
+    def test_node_id_layout(self):
+        _, cluster = small_cluster(n=64, sats=3)
+        assert [n.node_id for n in cluster.nodes] == list(range(64))
+        assert cluster.master.node_id == 64
+        assert [s.node_id for s in cluster.satellites] == [65, 66, 67]
+
+    def test_roles(self):
+        _, cluster = small_cluster()
+        assert cluster.master.role is NodeRole.MASTER
+        assert all(s.role is NodeRole.SATELLITE for s in cluster.satellites)
+        assert all(n.role is NodeRole.COMPUTE for n in cluster.nodes)
+
+    def test_lookup(self):
+        _, cluster = small_cluster()
+        assert cluster.node(0).name == "cn00000"
+        with pytest.raises(ClusterError):
+            cluster.node(9999)
+
+    def test_topology_coordinates_assigned(self):
+        _, cluster = small_cluster(n=20)
+        n9 = cluster.node(9)
+        assert (n9.rack, n9.chassis, n9.board) == cluster.topology.coordinates(9)
+
+    def test_up_and_down_queries(self):
+        _, cluster = small_cluster(n=10)
+        assert len(cluster.up_nodes()) == 10
+        cluster.fail_nodes([2, 5])
+        assert cluster.down_ids() == {2, 5}
+        assert cluster.failed_fraction() == 0.2
+        assert not cluster.is_responsive(2)
+        cluster.recover_nodes([2])
+        assert cluster.down_ids() == {5}
+
+    def test_fail_fraction_deterministic(self):
+        _, c1 = small_cluster(n=100, seed=3)
+        _, c2 = small_cluster(n=100, seed=3)
+        ids1 = c1.fail_fraction(0.1)
+        ids2 = c2.fail_fraction(0.1)
+        assert ids1 == ids2
+        assert len(ids1) == 10
+
+    def test_fail_fraction_bounds(self):
+        _, cluster = small_cluster()
+        with pytest.raises(ClusterError):
+            cluster.fail_fraction(1.5)
+        assert cluster.fail_fraction(0.0) == []
+
+    def test_all_nodes_iteration_order(self):
+        _, cluster = small_cluster(n=5, sats=2)
+        ids = [n.node_id for n in cluster.all_nodes()]
+        assert ids == [0, 1, 2, 3, 4, 5, 6, 7]

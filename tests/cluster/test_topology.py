@@ -1,0 +1,75 @@
+"""Tests for the rack/chassis/board topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.topology import HopLevel, Topology
+from repro.errors import ConfigurationError
+
+TOPO = Topology(nodes_per_board=8, boards_per_chassis=16, chassis_per_rack=4)
+NODES_PER_RACK = 8 * 16 * 4  # 512
+
+
+class TestCoordinates:
+    def test_node_zero(self):
+        assert TOPO.coordinates(0) == (0, 0, 0)
+
+    def test_board_boundary(self):
+        assert TOPO.coordinates(7)[2] == 0
+        assert TOPO.coordinates(8)[2] == 1
+
+    def test_rack_boundary(self):
+        assert TOPO.coordinates(NODES_PER_RACK - 1)[0] == 0
+        assert TOPO.coordinates(NODES_PER_RACK)[0] == 1
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TOPO.coordinates(-1)
+
+
+class TestHopLevel:
+    def test_same_node(self):
+        assert TOPO.hop_level(5, 5) is HopLevel.SAME_NODE
+
+    def test_same_board(self):
+        assert TOPO.hop_level(0, 7) is HopLevel.SAME_BOARD
+
+    def test_same_chassis(self):
+        assert TOPO.hop_level(0, 8) is HopLevel.SAME_CHASSIS
+
+    def test_same_rack(self):
+        assert TOPO.hop_level(0, TOPO.nodes_per_chassis) is HopLevel.SAME_RACK
+
+    def test_cross_rack(self):
+        assert TOPO.hop_level(0, NODES_PER_RACK) is HopLevel.CROSS_RACK
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    def test_symmetry(self, a, b):
+        assert TOPO.hop_level(a, b) == TOPO.hop_level(b, a)
+
+    @given(st.integers(0, 10_000))
+    def test_reflexive(self, a):
+        assert TOPO.hop_level(a, a) is HopLevel.SAME_NODE
+
+
+class TestHelpers:
+    def test_nodes_in_rack_full(self):
+        r = TOPO.nodes_in_rack(0, total_nodes=2048)
+        assert len(r) == NODES_PER_RACK
+
+    def test_nodes_in_rack_clipped(self):
+        r = TOPO.nodes_in_rack(0, total_nodes=100)
+        assert len(r) == 100
+
+    def test_nodes_in_rack_beyond_cluster(self):
+        assert len(TOPO.nodes_in_rack(9, total_nodes=100)) == 0
+
+    def test_racks_for(self):
+        assert TOPO.racks_for(1) == 1
+        assert TOPO.racks_for(NODES_PER_RACK) == 1
+        assert TOPO.racks_for(NODES_PER_RACK + 1) == 2
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology(nodes_per_board=0)

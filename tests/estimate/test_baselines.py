@@ -1,0 +1,130 @@
+"""Tests for baseline estimators: user, Last-2, windowed models, IRPA, TRIP, PREP."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimate import (
+    IrpaEstimator,
+    Last2Estimator,
+    PrepEstimator,
+    TripEstimator,
+    UserEstimator,
+    evaluate_estimator,
+    svm_estimator,
+)
+from repro.estimate.baselines import WindowedModelEstimator
+from repro.estimate.ridge import BayesianRidge
+from repro.sched.job import Job
+from repro.workload import WorkloadConfig, generate_trace
+
+
+def job(job_id, name="a.sh", user="u", runtime=100.0, est=150.0, submit=0.0):
+    return Job(job_id, name, user, 2, runtime, est, submit)
+
+
+class TestUserEstimator:
+    def test_echoes_user_estimate(self):
+        est = UserEstimator()
+        assert est.estimate(job(1, est=321.0), now=0.0) == 321.0
+        assert est.estimate(job(2, est=None), now=0.0) is None
+
+    def test_observe_is_noop(self):
+        est = UserEstimator()
+        est.observe(job(1), now=0.0)
+        assert est.estimate(job(2, est=5.0), now=0.0) == 5.0
+
+
+class TestLast2:
+    def test_mean_of_last_two(self):
+        est = Last2Estimator()
+        est.observe(job(1, user="u", runtime=100.0), now=0.0)
+        est.observe(job(2, user="u", runtime=200.0), now=1.0)
+        assert est.estimate(job(3, user="u"), now=2.0) == 150.0
+
+    def test_window_slides(self):
+        est = Last2Estimator()
+        for i, rt in enumerate([10.0, 20.0, 30.0]):
+            est.observe(job(i, user="u", runtime=rt), now=float(i))
+        assert est.estimate(job(9, user="u"), now=5.0) == 25.0
+
+    def test_per_user_isolation(self):
+        est = Last2Estimator()
+        est.observe(job(1, user="alice", runtime=100.0), now=0.0)
+        assert est.estimate(job(2, user="bob", est=777.0), now=1.0) == 777.0
+
+    def test_falls_back_to_user_estimate(self):
+        est = Last2Estimator()
+        assert est.estimate(job(1, est=42.0), now=0.0) == 42.0
+
+
+class TestWindowedModel:
+    def test_none_before_min_history(self):
+        est = WindowedModelEstimator(BayesianRidge, name="br", window=50, min_history=10)
+        for i in range(5):
+            est.observe(job(i), now=float(i))
+        assert est.estimate(job(99), now=10.0) is None
+
+    def test_estimates_after_history(self):
+        est = WindowedModelEstimator(BayesianRidge, name="br", window=50, min_history=10)
+        for i in range(15):
+            est.observe(job(i, runtime=500.0), now=float(i))
+        pred = est.estimate(job(99), now=20.0)
+        assert pred is not None
+        assert 100.0 < pred < 2500.0
+
+    def test_invalid_window(self):
+        with pytest.raises(EstimationError):
+            WindowedModelEstimator(BayesianRidge, name="x", window=5, min_history=10)
+
+
+class TestPrep:
+    def test_groups_by_name(self):
+        est = PrepEstimator()
+        est.observe(job(1, name="x.sh", runtime=100.0), now=0.0)
+        est.observe(job(2, name="x.sh", runtime=120.0), now=1.0)
+        pred = est.estimate(job(3, name="x.sh"), now=2.0)
+        assert 100.0 <= pred <= 120.0
+
+    def test_global_fallback(self):
+        est = PrepEstimator()
+        est.observe(job(1, name="x.sh", runtime=100.0), now=0.0)
+        assert est.estimate(job(2, name="unknown.sh"), now=1.0) == pytest.approx(100.0)
+
+    def test_no_history_returns_none(self):
+        assert PrepEstimator().estimate(job(1), now=0.0) is None
+
+
+class TestOnTrace:
+    """Qualitative Fig. 11b orderings on a short synthetic trace."""
+
+    @pytest.fixture(scope="class")
+    def jobs(self):
+        return generate_trace(WorkloadConfig(max_nodes=128, jobs_per_day=2000.0), 1200, seed=7)
+
+    def test_last2_beats_user(self, jobs):
+        user = evaluate_estimator(UserEstimator(), jobs, warmup=100)
+        last2 = evaluate_estimator(Last2Estimator(), jobs, warmup=100)
+        assert last2.aea > user.aea
+
+    def test_prep_beats_last2(self, jobs):
+        last2 = evaluate_estimator(Last2Estimator(), jobs, warmup=100)
+        prep = evaluate_estimator(PrepEstimator(), jobs, warmup=100)
+        assert prep.aea > last2.aea
+
+    def test_trip_runs_and_estimates(self, jobs):
+        rep = evaluate_estimator(TripEstimator(window=300, refit_every=100), jobs[:600], warmup=50)
+        assert rep.n_estimated > 100
+        assert 0.0 < rep.aea <= 1.0
+
+    def test_irpa_runs_and_estimates(self, jobs):
+        rep = evaluate_estimator(
+            IrpaEstimator(window=200, refit_every=150), jobs[:400], warmup=50
+        )
+        assert rep.n_estimated > 50
+        assert 0.0 < rep.aea <= 1.0
+
+    def test_svm_runs_and_estimates(self, jobs):
+        rep = evaluate_estimator(svm_estimator(window=300), jobs[:500], warmup=50)
+        assert rep.n_estimated > 100
+        assert 0.0 < rep.aea <= 1.0

@@ -1,0 +1,178 @@
+"""Tests for the ESLURM estimation framework and its metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.estimate import (
+    EslurmEstimator,
+    EstimatorConfig,
+    estimation_accuracy,
+    evaluate_estimator,
+)
+from repro.sched.job import Job
+from repro.workload import WorkloadConfig, generate_trace
+
+HOUR = 3600.0
+
+
+def quick_config(**kw):
+    defaults = dict(window=200, min_history=20, refresh_jobs=40, k_clusters=8)
+    defaults.update(kw)
+    return EstimatorConfig(**defaults)
+
+
+def job(job_id, name="a.sh", user="u", runtime=100.0, est=150.0, submit=0.0, nodes=2):
+    return Job(job_id, name, user, nodes, runtime, est, submit)
+
+
+class TestEstimationAccuracy:
+    def test_eq4_overestimate(self):
+        assert estimation_accuracy(200.0, 100.0) == 0.5
+
+    def test_eq4_underestimate(self):
+        assert estimation_accuracy(50.0, 100.0) == 0.5
+
+    def test_exact(self):
+        assert estimation_accuracy(100.0, 100.0) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(EstimationError):
+            estimation_accuracy(0.0, 10.0)
+
+
+class TestConfig:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            EstimatorConfig(window=5, min_history=30)
+        with pytest.raises(ConfigurationError):
+            EstimatorConfig(slack=0.9)
+        with pytest.raises(ConfigurationError):
+            EstimatorConfig(aea_gate=2.0)
+        with pytest.raises(ConfigurationError):
+            EstimatorConfig(refresh_interval_s=0)
+        with pytest.raises(ConfigurationError):
+            EstimatorConfig(k_clusters=0)
+
+
+class TestFrameworkLifecycle:
+    def test_no_model_passes_user_estimate_through(self):
+        est = EslurmEstimator(quick_config())
+        j = job(1, est=500.0)
+        assert est.estimate(j, now=0.0) == 500.0
+        assert not est.trained
+
+    def test_trains_after_min_history(self):
+        est = EslurmEstimator(quick_config())
+        for i in range(25):
+            est.observe(job(i, runtime=100.0), now=float(i))
+        est.estimate(job(99), now=30.0)
+        assert est.trained
+        assert est.trainings == 1
+
+    def test_retrains_on_interval(self):
+        cfg = quick_config(refresh_interval_s=10 * HOUR, refresh_jobs=10_000)
+        est = EslurmEstimator(cfg)
+        for i in range(25):
+            est.observe(job(i), now=float(i))
+        est.estimate(job(100), now=1.0)
+        est.estimate(job(101), now=2.0)
+        assert est.trainings == 1
+        est.estimate(job(102), now=1.0 + 11 * HOUR)
+        assert est.trainings == 2
+
+    def test_retrains_on_job_count(self):
+        cfg = quick_config(refresh_jobs=30)
+        est = EslurmEstimator(cfg)
+        for i in range(25):
+            est.observe(job(i), now=float(i))
+        est.estimate(job(100), now=26.0)
+        for i in range(40):
+            est.observe(job(200 + i), now=30.0 + i)
+        est.estimate(job(300), now=80.0)
+        assert est.trainings == 2
+
+    def test_known_name_gets_model_estimate(self):
+        cfg = quick_config(aea_gate=0.0)
+        est = EslurmEstimator(cfg)
+        for i in range(50):
+            est.observe(job(i, name="app.sh", runtime=1000.0), now=float(i))
+        pred = est.estimate(job(99, name="app.sh", est=99999.0), now=60.0)
+        assert pred is not None
+        # model should land near the true 1000 s, far from the user's 99999
+        assert 500.0 < pred < 3000.0
+
+    def test_unknown_name_falls_back_to_user(self):
+        est = EslurmEstimator(quick_config(aea_gate=0.0))
+        for i in range(50):
+            est.observe(job(i, name="known.sh", runtime=1000.0), now=float(i))
+        est.estimate(job(98, name="known.sh"), now=55.0)  # triggers training
+        pred = est.estimate(job(99, name="brand-new.sh", est=777.0), now=60.0)
+        assert pred == 777.0
+
+    def test_unknown_name_with_record_memory(self):
+        est = EslurmEstimator(quick_config(aea_gate=0.0))
+        for i in range(50):
+            est.observe(job(i, name="known.sh", runtime=1000.0), now=float(i))
+        est.estimate(job(98, name="known.sh"), now=55.0)
+        # one completion of the new name: record module memory kicks in
+        est.observe(job(60, name="new.sh", runtime=400.0), now=56.0)
+        pred = est.estimate(job(99, name="new.sh", est=99999.0), now=60.0)
+        assert 300.0 < pred < 800.0
+
+    def test_slack_applied(self):
+        cfg = quick_config(aea_gate=0.0, slack=2.0, q_sigma=0.0, resid_floor=0.0)
+        est = EslurmEstimator(cfg)
+        for i in range(50):
+            est.observe(job(i, name="app.sh", runtime=1000.0), now=float(i))
+        pred = est.estimate(job(99, name="app.sh", est=None), now=60.0)
+        assert pred == pytest.approx(2000.0, rel=0.25)
+
+    def test_aea_gate_blocks_model_when_low(self):
+        cfg = quick_config(aea_gate=0.99)  # essentially never trust model
+        est = EslurmEstimator(cfg)
+        for i in range(60):
+            est.observe(job(i, name="app.sh", runtime=1000.0), now=float(i))
+        pred = est.estimate(job(99, name="app.sh", est=55_555.0), now=70.0)
+        assert pred == 55_555.0
+
+    def test_record_module_updates_aea(self):
+        cfg = quick_config(aea_gate=0.0)
+        est = EslurmEstimator(cfg)
+        for i in range(50):
+            est.observe(job(i, name="app.sh", runtime=1000.0), now=float(i))
+        j = job(99, name="app.sh")
+        est.estimate(j, now=60.0)
+        before = est.average_estimation_accuracy()
+        est.observe(j, now=61.0)
+        after = est.average_estimation_accuracy()
+        assert after != before or est._aea_n  # EA recorded
+
+    def test_cluster_aea_unknown_cluster_rejected(self):
+        est = EslurmEstimator(quick_config())
+        with pytest.raises(EstimationError):
+            est.cluster_aea(0)
+
+
+class TestEndToEnd:
+    def test_eslurm_beats_user_estimates(self):
+        jobs = generate_trace(WorkloadConfig.tianhe2a(max_nodes=256), 1200, seed=3)
+        from repro.estimate import UserEstimator
+
+        user_rep = evaluate_estimator(UserEstimator(), jobs, warmup=100)
+        cfg = EstimatorConfig(aea_gate=0.0, k_clusters=40)
+        es_rep = evaluate_estimator(EslurmEstimator(cfg), jobs, warmup=100)
+        assert es_rep.aea > user_rep.aea
+        assert es_rep.underestimate_rate < 0.5
+
+    def test_deterministic(self):
+        jobs = generate_trace(WorkloadConfig(max_nodes=64), 600, seed=4)
+        reps = [
+            evaluate_estimator(
+                EslurmEstimator(EstimatorConfig(aea_gate=0.0), rng=np.random.default_rng(1)),
+                jobs,
+                warmup=50,
+            )
+            for _ in range(2)
+        ]
+        assert reps[0].aea == reps[1].aea

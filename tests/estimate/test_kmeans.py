@@ -1,0 +1,91 @@
+"""Tests for K-means++ and the elbow method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EstimationError
+from repro.estimate.kmeans import KMeans, elbow_k
+
+
+def blobs(k=3, n_per=50, spread=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 10, size=(k, 4))
+    X = np.concatenate([c + spread * rng.normal(size=(n_per, 4)) for c in centers])
+    return X, centers
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        X, _ = blobs(k=3)
+        km = KMeans(3, rng=np.random.default_rng(1)).fit(X)
+        labels = km.labels_
+        # Each blob of 50 should be a single cluster
+        for b in range(3):
+            block = labels[b * 50 : (b + 1) * 50]
+            assert len(set(block.tolist())) == 1
+
+    def test_inertia_decreases_with_k(self):
+        X, _ = blobs(k=4)
+        inertias = [
+            KMeans(k, rng=np.random.default_rng(0)).fit(X).inertia_ for k in (1, 2, 4, 8)
+        ]
+        assert inertias == sorted(inertias, reverse=True)
+
+    def test_predict_matches_fit_labels(self):
+        X, _ = blobs()
+        km = KMeans(3, rng=np.random.default_rng(2)).fit(X)
+        np.testing.assert_array_equal(km.predict(X), km.labels_)
+
+    def test_predict_one(self):
+        X, _ = blobs()
+        km = KMeans(3, rng=np.random.default_rng(2)).fit(X)
+        assert km.predict_one(X[0]) == km.labels_[0]
+
+    def test_more_clusters_than_points_clamped(self):
+        X = np.ones((3, 2))
+        km = KMeans(10, rng=np.random.default_rng(0)).fit(X)
+        assert km.n_clusters == 3
+
+    def test_identical_points(self):
+        X = np.ones((20, 3))
+        km = KMeans(4, rng=np.random.default_rng(0)).fit(X)
+        assert km.inertia_ == pytest.approx(0.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            KMeans(0)
+        with pytest.raises(EstimationError):
+            KMeans(2).fit(np.empty((0, 3)))
+        with pytest.raises(EstimationError):
+            KMeans(2).predict(np.ones((2, 2)))
+
+    def test_deterministic_given_rng(self):
+        X, _ = blobs(seed=5)
+        a = KMeans(3, rng=np.random.default_rng(9)).fit(X)
+        b = KMeans(3, rng=np.random.default_rng(9)).fit(X)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+
+    @given(st.integers(1, 8), st.integers(10, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_labels_in_range(self, k, n):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(n, 3))
+        km = KMeans(k, rng=rng).fit(X)
+        assert km.labels_.min() >= 0
+        assert km.labels_.max() < km.n_clusters
+
+
+class TestElbow:
+    def test_finds_knee_on_blobs(self):
+        X, _ = blobs(k=4, n_per=40, spread=0.05, seed=3)
+        k = elbow_k(X, k_max=10, rng=np.random.default_rng(0))
+        assert 3 <= k <= 6  # the knee should sit near the true k
+
+    def test_single_point(self):
+        assert elbow_k(np.ones((1, 2))) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            elbow_k(np.empty((0, 2)))

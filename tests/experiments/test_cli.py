@@ -1,0 +1,28 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_quick_placement_runs(capsys):
+    assert main(["placement", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "placed on leaves" in out
+
+
+def test_quick_table8_runs(capsys):
+    assert main(["table8", "--quick"]) == 0
+    assert "Table VIII" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Tests for the latency/bandwidth fabric."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.errors import ConfigurationError
+from repro.network import FabricConfig, NetworkFabric
+from repro.network.message import Message, MessageKind
+from repro.simkit import Simulator
+
+
+def build(n=128, cfg=None, seed=0):
+    sim = Simulator(seed=seed)
+    cluster = ClusterSpec(n_nodes=n).build(sim)
+    return sim, cluster, NetworkFabric(sim, cluster, cfg)
+
+
+class TestFabricConfig:
+    def test_defaults_valid(self):
+        cfg = FabricConfig()
+        assert cfg.bytes_per_second == pytest.approx(25e9 / 8)
+        assert cfg.dead_node_penalty_s == pytest.approx(4.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            FabricConfig(bandwidth_gbps=0)
+        with pytest.raises(ConfigurationError):
+            FabricConfig(retries=-1)
+        with pytest.raises(ConfigurationError):
+            FabricConfig(hop_latency_s=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            FabricConfig(jitter_frac=1.0)
+
+
+class TestTransferDelay:
+    def test_delay_components(self):
+        _, _, fabric = build()
+        cfg = fabric.config
+        # nodes 0 and 1 share a board
+        d = fabric.transfer_delay(0, 1, 1000)
+        expected = cfg.send_overhead_s + cfg.hop_latency_s[1] + 1000 / cfg.bytes_per_second
+        assert d == pytest.approx(expected)
+
+    def test_farther_hops_cost_more(self):
+        _, cluster, fabric = build(n=2048)
+        same_board = fabric.transfer_delay(0, 1, 100)
+        cross_rack = fabric.transfer_delay(0, cluster.topology.nodes_per_rack, 100)
+        assert cross_rack > same_board
+
+    def test_bigger_messages_cost_more(self):
+        _, _, fabric = build()
+        assert fabric.transfer_delay(0, 1, 10_000_000) > fabric.transfer_delay(0, 1, 100)
+
+    def test_master_id_mapped_safely(self):
+        _, cluster, fabric = build(n=16)
+        d = fabric.transfer_delay(cluster.master.node_id, 3, 100)
+        assert d > 0
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        cfg = FabricConfig(jitter_frac=0.1)
+        _, _, f1 = build(cfg=cfg, seed=5)
+        _, _, f2 = build(cfg=cfg, seed=5)
+        d1 = [f1.transfer_delay(0, 1, 100) for _ in range(10)]
+        d2 = [f2.transfer_delay(0, 1, 100) for _ in range(10)]
+        assert d1 == d2
+        base = FabricConfig().send_overhead_s
+        for d in d1:
+            assert 0.8 * base < d < 1.3 * base
+
+
+class TestVectorizedDelays:
+    def test_matches_scalar(self):
+        _, _, fabric = build(n=1024)
+        dsts = np.array([1, 7, 63, 200, 900])
+        vec = fabric.transfer_delays(0, dsts, 500)
+        scalar = [fabric.transfer_delay(0, int(d), 500) for d in dsts]
+        np.testing.assert_allclose(vec, scalar, rtol=1e-12)
+
+    def test_reachability_mask(self):
+        _, cluster, fabric = build(n=10)
+        cluster.fail_nodes([2, 4])
+        mask = fabric.reachability(list(range(10)))
+        assert list(np.nonzero(~mask)[0]) == [2, 4]
+
+
+class TestAttemptAndDeliver:
+    def test_attempt_reachable(self):
+        _, _, fabric = build()
+        delay, ok = fabric.attempt_delay(0, 1, 100)
+        assert ok and delay < 1.0
+
+    def test_attempt_dead_costs_penalty(self):
+        _, cluster, fabric = build()
+        cluster.fail_nodes([1])
+        delay, ok = fabric.attempt_delay(0, 1, 100)
+        assert not ok
+        assert delay == fabric.config.dead_node_penalty_s
+
+    def test_deliver_event(self):
+        sim, _, fabric = build()
+        msg = Message(MessageKind.HEARTBEAT, src=0, dst=1)
+
+        def proc():
+            got = yield fabric.deliver(msg)
+            return (sim.now, got)
+
+        p = sim.process(proc())
+        sim.run()
+        at, got = p.value
+        assert got is msg
+        assert at > 0
+
+    def test_deliver_to_dead_returns_none_after_penalty(self):
+        sim, cluster, fabric = build()
+        cluster.fail_nodes([1])
+        msg = Message(MessageKind.HEARTBEAT, src=0, dst=1)
+
+        def proc():
+            got = yield fabric.deliver(msg)
+            return (sim.now, got)
+
+        p = sim.process(proc())
+        sim.run()
+        at, got = p.value
+        assert got is None
+        assert at == pytest.approx(fabric.config.dead_node_penalty_s)

@@ -1,0 +1,57 @@
+"""Tests for connection tracking."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import ConnectionTracker
+from repro.simkit import Simulator
+
+
+def test_open_close_counts():
+    sim = Simulator()
+    tr = ConnectionTracker(sim, "master")
+    tr.open(5)
+    assert tr.current == 5
+    tr.close(2)
+    assert tr.current == 3
+    assert tr.total_opened == 5
+
+
+def test_close_more_than_open_raises():
+    tr = ConnectionTracker(Simulator(), "x")
+    tr.open(1)
+    with pytest.raises(NetworkError):
+        tr.close(2)
+
+
+def test_negative_counts_rejected():
+    tr = ConnectionTracker(Simulator(), "x")
+    with pytest.raises(NetworkError):
+        tr.open(-1)
+    with pytest.raises(NetworkError):
+        tr.close(-1)
+
+
+def test_pulse_closes_after_hold():
+    sim = Simulator()
+    tr = ConnectionTracker(sim, "master")
+    tr.pulse(10, hold_s=5.0)
+    assert tr.current == 10
+    sim.run(until=10.0)
+    assert tr.current == 0
+    assert tr.peak() == 10
+
+
+def test_mean_is_time_weighted():
+    sim = Simulator()
+    tr = ConnectionTracker(sim, "m")
+    tr.open(4)  # 4 connections held for the whole [0, 10] window
+    sim.run(until=10.0)
+    tr.close(4)
+    assert tr.mean() == pytest.approx(4.0)
+
+
+def test_empty_tracker_mean_zero():
+    tr = ConnectionTracker(Simulator(), "m")
+    assert tr.mean() == 0.0
+    assert tr.peak() == 0.0

@@ -1,0 +1,103 @@
+"""Tests for daemon resource accounting."""
+
+import pytest
+
+from repro.rm.accounting import DaemonAccounting
+from repro.rm.profiles import RM_PROFILES
+from repro.simkit import Simulator
+
+SLURM = RM_PROFILES["slurm"]
+DAY = 86_400.0
+
+
+def make(profile=SLURM):
+    sim = Simulator()
+    return sim, DaemonAccounting(sim, profile, "test.master")
+
+
+class TestCpu:
+    def test_charge_accumulates(self):
+        _, acct = make()
+        acct.charge_cpu(1.5)
+        acct.charge_cpu(0.5)
+        assert acct.cpu_time_s == 2.0
+
+    def test_negative_rejected(self):
+        _, acct = make()
+        with pytest.raises(ValueError):
+            acct.charge_cpu(-1.0)
+
+    def test_utilization_window(self):
+        sim, acct = make()
+        sim.run(until=10.0)
+        acct.charge_cpu(5.0)  # 5s of work in a 10s window
+        acct.sample()
+        assert acct.cpu_util.last() == pytest.approx(0.5)
+        sim.run(until=20.0)
+        acct.sample()  # no work since: utilization drops to 0
+        assert acct.cpu_util.last() == 0.0
+
+    def test_utilization_capped_at_one(self):
+        sim, acct = make()
+        sim.run(until=1.0)
+        acct.charge_cpu(100.0)
+        acct.sample()
+        assert acct.cpu_util.last() == 1.0
+
+
+class TestMemory:
+    def test_vmem_scales_with_nodes(self):
+        _, acct = make()
+        acct.set_tracked(nodes=0)
+        base = acct.vmem_mb()
+        acct.set_tracked(nodes=4096)
+        assert acct.vmem_mb() == pytest.approx(base + SLURM.vmem_per_node_kb * 4096 / 1024)
+
+    def test_vmem_growth_over_days(self):
+        sim, acct = make()
+        v0 = acct.vmem_mb()
+        sim.run(until=2 * DAY)
+        assert acct.vmem_mb() == pytest.approx(v0 + 2 * SLURM.vmem_growth_mb_per_day)
+
+    def test_rss_scales_with_state(self):
+        _, acct = make()
+        acct.set_tracked(nodes=1000, jobs=50)
+        expected = (
+            SLURM.base_rss_mb
+            + SLURM.rss_per_node_kb * 1000 / 1024
+            + SLURM.rss_per_job_kb * 50 / 1024
+        )
+        assert acct.rss_mb() == pytest.approx(expected)
+
+    def test_slurm_hits_10gb_vmem_at_4k(self):
+        """Fig. 7c: Slurm needs ~10 GB of virtual memory for 4K nodes."""
+        _, acct = make()
+        acct.set_tracked(nodes=4096, jobs=500)
+        assert 9_000 < acct.vmem_mb() + SLURM.vmem_growth_mb_per_day < 12_000
+
+    def test_eslurm_under_2gb_vmem_at_4k(self):
+        """Fig. 7c: ESLURM stays under 2 GB at the same scale."""
+        _, acct = make(RM_PROFILES["eslurm"])
+        acct.set_tracked(nodes=4096, jobs=500)
+        assert acct.vmem_mb() < 2_400
+
+
+class TestSampler:
+    def test_sampler_records_series(self):
+        sim, acct = make()
+        acct.start_sampler(interval_s=1.0)
+        sim.run(until=10.0)
+        assert len(acct.vmem_series) == 10
+        assert len(acct.cpu_util) == 10
+
+    def test_sampler_idempotent(self):
+        sim, acct = make()
+        acct.start_sampler(1.0)
+        acct.start_sampler(1.0)
+        sim.run(until=5.0)
+        assert len(acct.vmem_series) == 5
+
+    def test_summary_keys(self):
+        _, acct = make()
+        s = acct.summary()
+        assert {"cpu_time_min", "vmem_mb", "rss_mb", "sockets_mean", "sockets_peak"} <= set(s)

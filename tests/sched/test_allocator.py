@@ -1,0 +1,114 @@
+"""Tests for the node pool."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched import Job, NodePool
+
+
+def make_job(job_id=1, n_nodes=2, runtime=100.0, estimate=150.0):
+    return Job(
+        job_id=job_id,
+        name="x",
+        user="u",
+        n_nodes=n_nodes,
+        runtime_s=runtime,
+        user_estimate_s=estimate,
+        submit_time=0.0,
+    )
+
+
+class TestBasics:
+    def test_counts(self):
+        pool = NodePool(range(10))
+        assert pool.n_total == 10
+        assert pool.n_free == 10
+        assert pool.n_busy == 0
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(SchedulingError):
+            NodePool([1, 1, 2])
+
+    def test_allocate_first_fit_by_id(self):
+        pool = NodePool([5, 3, 9, 1])
+        nodes = pool.allocate(make_job(n_nodes=2), now=0.0)
+        assert nodes == (1, 3)
+        assert pool.n_free == 2
+
+    def test_allocate_too_big_rejected(self):
+        pool = NodePool(range(3))
+        with pytest.raises(SchedulingError):
+            pool.allocate(make_job(n_nodes=5), now=0.0)
+        assert not pool.fits(make_job(n_nodes=5))
+
+    def test_release_returns_nodes(self):
+        pool = NodePool(range(4))
+        job = make_job(n_nodes=3)
+        nodes = pool.allocate(job, now=0.0)
+        released = pool.release(job.job_id)
+        assert released == nodes
+        assert pool.n_free == 4
+
+    def test_release_unknown_job(self):
+        with pytest.raises(SchedulingError):
+            NodePool(range(2)).release(99)
+
+
+class TestBelievedEnds:
+    def test_sorted_by_end(self):
+        pool = NodePool(range(10))
+        early = make_job(job_id=1, n_nodes=2, estimate=50.0)
+        late = make_job(job_id=2, n_nodes=3, estimate=500.0)
+        pool.allocate(late, now=0.0)
+        pool.allocate(early, now=0.0)
+        ends = pool.believed_ends()
+        assert ends == [(50.0, 2), (500.0, 3)]
+
+
+class TestFailures:
+    def test_mark_down_free_node(self):
+        pool = NodePool(range(4))
+        assert pool.mark_down(2) is None
+        assert pool.n_free == 3
+        assert pool.n_down == 1
+
+    def test_mark_down_busy_node_returns_job(self):
+        pool = NodePool(range(4))
+        job = make_job(n_nodes=2)
+        nodes = pool.allocate(job, now=0.0)
+        assert pool.mark_down(nodes[0]) == job.job_id
+
+    def test_down_node_not_refreed_on_release(self):
+        pool = NodePool(range(4))
+        job = make_job(n_nodes=2)
+        nodes = pool.allocate(job, now=0.0)
+        pool.mark_down(nodes[0])
+        pool.release(job.job_id)
+        assert pool.n_free == 3  # the down node stays out
+        pool.mark_up(nodes[0])
+        assert pool.n_free == 4
+
+    def test_mark_up_while_job_still_holds_node(self):
+        pool = NodePool(range(4))
+        job = make_job(n_nodes=2)
+        nodes = pool.allocate(job, now=0.0)
+        pool.mark_down(nodes[0])
+        pool.mark_up(nodes[0])  # job still running on it: not freed
+        assert pool.n_free == 2
+        assert pool.n_down == 0
+
+    def test_unknown_node_rejected(self):
+        pool = NodePool(range(2))
+        with pytest.raises(SchedulingError):
+            pool.mark_down(7)
+        with pytest.raises(SchedulingError):
+            pool.mark_up(7)
+
+
+class TestUtilization:
+    def test_utilization_now(self):
+        pool = NodePool(range(10))
+        pool.allocate(make_job(n_nodes=4), now=0.0)
+        assert pool.utilization_now() == pytest.approx(0.4)
+        pool.mark_down(9)
+        assert pool.utilization_now() == pytest.approx(4 / 9)

@@ -1,0 +1,91 @@
+"""Tests for scheduling metrics (Eq. 6 and aggregates)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched import Job, JobState, ScheduleMetrics, bounded_slowdown
+
+
+def finished_job(job_id, n_nodes, submit, start, end, state=JobState.COMPLETED):
+    j = Job(
+        job_id=job_id,
+        name="x",
+        user="u",
+        n_nodes=n_nodes,
+        runtime_s=max(end - start, 1.0),
+        user_estimate_s=None,
+        submit_time=submit,
+    )
+    j.start(start, nodes=list(range(n_nodes)))
+    j.finish(end, state=state)
+    return j
+
+
+class TestBoundedSlowdown:
+    def test_eq6_basic(self):
+        # wait 90, run 10: (90+10)/max(10,10) = 10
+        assert bounded_slowdown(90.0, 10.0) == 10.0
+
+    def test_tau_guards_short_jobs(self):
+        # 1-second job with 9s wait: without tau -> 10; with tau=10 -> 1
+        assert bounded_slowdown(9.0, 1.0) == 1.0
+
+    def test_floor_at_one(self):
+        assert bounded_slowdown(0.0, 100.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchedulingError):
+            bounded_slowdown(-1.0, 5.0)
+
+
+class TestScheduleMetrics:
+    def test_single_job_full_machine(self):
+        jobs = [finished_job(1, 4, submit=0, start=0, end=100)]
+        m = ScheduleMetrics.from_jobs(jobs, n_nodes=4)
+        assert m.utilization == pytest.approx(1.0)
+        assert m.avg_wait_s == 0.0
+        assert m.avg_slowdown == 1.0
+        assert m.makespan_s == 100.0
+
+    def test_half_machine_half_utilization(self):
+        jobs = [finished_job(1, 2, submit=0, start=0, end=100)]
+        m = ScheduleMetrics.from_jobs(jobs, n_nodes=4)
+        assert m.utilization == pytest.approx(0.5)
+
+    def test_wait_and_slowdown(self):
+        jobs = [finished_job(1, 1, submit=0, start=50, end=100)]
+        m = ScheduleMetrics.from_jobs(jobs, n_nodes=1, horizon_s=100.0)
+        assert m.avg_wait_s == 50.0
+        assert m.avg_slowdown == pytest.approx(2.0)  # (50+50)/50
+
+    def test_state_counts(self):
+        jobs = [
+            finished_job(1, 1, 0, 0, 10),
+            finished_job(2, 1, 0, 10, 20, state=JobState.TIMEOUT),
+            finished_job(3, 1, 0, 20, 30, state=JobState.FAILED),
+        ]
+        m = ScheduleMetrics.from_jobs(jobs, n_nodes=1)
+        assert (m.n_completed, m.n_timeout, m.n_failed) == (1, 1, 1)
+
+    def test_running_job_contributes_to_horizon(self):
+        j = Job(
+            job_id=1, name="x", user="u", n_nodes=2,
+            runtime_s=1000.0, user_estimate_s=None, submit_time=0.0,
+        )
+        j.start(0.0, nodes=[0, 1])
+        m = ScheduleMetrics.from_jobs([j], n_nodes=2, horizon_s=100.0)
+        assert m.utilization == pytest.approx(1.0)
+
+    def test_empty_run(self):
+        m = ScheduleMetrics.from_jobs([], n_nodes=4, horizon_s=0.0)
+        assert m.utilization == 0.0
+        assert m.n_jobs == 0
+
+    def test_invalid_n_nodes(self):
+        with pytest.raises(SchedulingError):
+            ScheduleMetrics.from_jobs([], n_nodes=0)
+
+    def test_summary_contains_key_figures(self):
+        jobs = [finished_job(1, 1, 0, 0, 10)]
+        text = ScheduleMetrics.from_jobs(jobs, n_nodes=1).summary()
+        assert "utilization" in text and "avg_wait" in text

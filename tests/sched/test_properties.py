@@ -1,0 +1,93 @@
+"""Property-based invariants for the scheduling core."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import BackfillScheduler, FcfsScheduler, Job, JobQueue, NodePool
+
+
+@st.composite
+def job_batch(draw):
+    n_jobs = draw(st.integers(1, 20))
+    jobs = []
+    for i in range(n_jobs):
+        runtime = draw(st.floats(1.0, 10_000.0))
+        over = draw(st.floats(1.0, 5.0))
+        jobs.append(
+            Job(
+                job_id=i,
+                name=f"j{i}",
+                user=f"u{draw(st.integers(0, 3))}",
+                n_nodes=draw(st.integers(1, 16)),
+                runtime_s=runtime,
+                user_estimate_s=runtime * over,
+                submit_time=float(i),
+            )
+        )
+    return jobs
+
+
+class TestPlanInvariants:
+    @given(job_batch(), st.integers(4, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_backfill_never_oversubscribes(self, jobs, n_nodes):
+        pool = NodePool(range(n_nodes))
+        queue = JobQueue()
+        for j in jobs:
+            if j.n_nodes <= n_nodes:
+                queue.submit(j)
+        decisions = BackfillScheduler().plan(queue, pool, now=0.0)
+        allocated = [nid for _, nodes in decisions for nid in nodes]
+        # no node double-allocated, all within the universe
+        assert len(allocated) == len(set(allocated))
+        assert all(0 <= nid < n_nodes for nid in allocated)
+        assert pool.n_free == n_nodes - len(allocated)
+
+    @given(job_batch(), st.integers(4, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_started_jobs_leave_the_queue(self, jobs, n_nodes):
+        pool = NodePool(range(n_nodes))
+        queue = JobQueue()
+        eligible = [j for j in jobs if j.n_nodes <= n_nodes]
+        for j in eligible:
+            queue.submit(j)
+        decisions = BackfillScheduler().plan(queue, pool, now=0.0)
+        started_ids = {j.job_id for j, _ in decisions}
+        queued_ids = {j.job_id for j in queue}
+        assert started_ids.isdisjoint(queued_ids)
+        assert started_ids | queued_ids == {j.job_id for j in eligible}
+
+    @given(job_batch(), st.integers(4, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_backfill_starts_superset_of_fcfs(self, jobs, n_nodes):
+        """EASY backfill never starts fewer jobs than FCFS on the same state."""
+
+        def run(policy_cls):
+            pool = NodePool(range(n_nodes))
+            queue = JobQueue()
+            for j in jobs:
+                if j.n_nodes <= n_nodes:
+                    queue.submit(
+                        Job(
+                            j.job_id, j.name, j.user, j.n_nodes, j.runtime_s,
+                            j.user_estimate_s, j.submit_time,
+                        )
+                    )
+            return {job.job_id for job, _ in policy_cls().plan(queue, pool, 0.0)}
+
+        fcfs = run(FcfsScheduler)
+        bf = run(BackfillScheduler)
+        assert fcfs <= bf
+
+    @given(job_batch(), st.integers(4, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_fcfs_order_respected(self, jobs, n_nodes):
+        pool = NodePool(range(n_nodes))
+        queue = JobQueue()
+        eligible = [j for j in jobs if j.n_nodes <= n_nodes]
+        for j in eligible:
+            queue.submit(j)
+        decisions = FcfsScheduler().plan(queue, pool, now=0.0)
+        started = [j.job_id for j, _ in decisions]
+        # FCFS starts a prefix of the queue, in order
+        assert started == [j.job_id for j in eligible[: len(started)]]

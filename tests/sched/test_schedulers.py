@@ -1,0 +1,157 @@
+"""Tests for FCFS and EASY-backfill policies."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched import BackfillScheduler, FcfsScheduler, Job, JobQueue, NodePool
+
+
+def make_job(job_id, n_nodes, runtime=100.0, estimate=None, submit=0.0):
+    return Job(
+        job_id=job_id,
+        name=f"job{job_id}",
+        user="u",
+        n_nodes=n_nodes,
+        runtime_s=runtime,
+        user_estimate_s=estimate if estimate is not None else runtime,
+        submit_time=submit,
+    )
+
+
+def queued(*jobs):
+    q = JobQueue()
+    for j in jobs:
+        q.submit(j)
+    return q
+
+
+class TestJobQueue:
+    def test_fifo_and_membership(self):
+        a, b = make_job(1, 1), make_job(2, 1)
+        q = queued(a, b)
+        assert q.head() is a
+        assert a in q and b in q
+        q.remove(a)
+        assert q.head() is b
+        assert len(q) == 1
+
+    def test_double_submit_rejected(self):
+        a = make_job(1, 1)
+        q = queued(a)
+        with pytest.raises(SchedulingError):
+            q.submit(a)
+
+    def test_remove_missing_rejected(self):
+        q = JobQueue()
+        with pytest.raises(SchedulingError):
+            q.remove(make_job(1, 1))
+
+    def test_non_pending_rejected(self):
+        j = make_job(1, 1)
+        j.cancel(0.0)
+        with pytest.raises(SchedulingError):
+            JobQueue().submit(j)
+
+    def test_pending_after_head(self):
+        a, b, c = make_job(1, 1), make_job(2, 1), make_job(3, 1)
+        q = queued(a, b, c)
+        assert q.pending_after_head() == [b, c]
+
+
+class TestFcfs:
+    def test_starts_in_order_while_fitting(self):
+        pool = NodePool(range(10))
+        q = queued(make_job(1, 4), make_job(2, 4), make_job(3, 4))
+        started = FcfsScheduler().plan(q, pool, now=0.0)
+        assert [j.job_id for j, _ in started] == [1, 2]
+        assert q.head().job_id == 3
+        assert pool.n_free == 2
+
+    def test_head_blocks_queue(self):
+        pool = NodePool(range(10))
+        q = queued(make_job(1, 20), make_job(2, 1))
+        started = FcfsScheduler().plan(q, pool, now=0.0)
+        assert started == []  # head too big; FCFS never skips
+        assert len(q) == 2
+
+    def test_empty_queue(self):
+        assert FcfsScheduler().plan(JobQueue(), NodePool(range(4)), 0.0) == []
+
+
+class TestBackfill:
+    def test_backfills_short_job_before_shadow(self):
+        pool = NodePool(range(10))
+        running = make_job(0, 6, estimate=100.0)
+        pool.allocate(running, now=0.0)  # believed end t=100
+        # head wants 8 nodes -> shadow at t=100; 4 free now
+        head = make_job(1, 8, estimate=50.0)
+        shorty = make_job(2, 4, estimate=50.0)  # finishes t=50 < shadow
+        q = queued(head, shorty)
+        started = BackfillScheduler().plan(q, pool, now=0.0)
+        assert [j.job_id for j, _ in started] == [2]
+        assert q.head() is head
+
+    def test_does_not_backfill_job_delaying_head(self):
+        pool = NodePool(range(10))
+        running = make_job(0, 6, estimate=100.0)
+        pool.allocate(running, now=0.0)
+        head = make_job(1, 8)
+        # long job would hold 4 nodes past the shadow (t=100) and the
+        # head needs 8 of the 10 -> only 2 extra nodes at shadow
+        long_job = make_job(2, 4, estimate=500.0)
+        q = queued(head, long_job)
+        started = BackfillScheduler().plan(q, pool, now=0.0)
+        assert started == []
+
+    def test_backfills_on_extra_nodes_even_if_long(self):
+        pool = NodePool(range(10))
+        running = make_job(0, 6, estimate=100.0)
+        pool.allocate(running, now=0.0)
+        head = make_job(1, 7)  # at shadow: 10 free, 3 extra
+        long_small = make_job(2, 2, estimate=9999.0)  # fits in extra nodes
+        q = queued(head, long_small)
+        started = BackfillScheduler().plan(q, pool, now=0.0)
+        assert [j.job_id for j, _ in started] == [2]
+
+    def test_extra_nodes_budget_decrements(self):
+        pool = NodePool(range(10))
+        running = make_job(0, 6, estimate=100.0)
+        pool.allocate(running, now=0.0)
+        head = make_job(1, 7)  # 3 extra nodes at shadow
+        a = make_job(2, 2, estimate=9999.0)
+        b = make_job(3, 2, estimate=9999.0)  # only 1 extra left: no
+        q = queued(head, a, b)
+        started = BackfillScheduler().plan(q, pool, now=0.0)
+        assert [j.job_id for j, _ in started] == [2]
+
+    def test_plain_fcfs_phase_first(self):
+        pool = NodePool(range(10))
+        q = queued(make_job(1, 3), make_job(2, 3))
+        started = BackfillScheduler().plan(q, pool, now=0.0)
+        assert [j.job_id for j, _ in started] == [1, 2]
+
+    def test_unsatisfiable_head_does_not_starve_queue(self):
+        pool = NodePool(range(10))
+        q = queued(make_job(1, 50), make_job(2, 2, estimate=1e6))
+        started = BackfillScheduler().plan(q, pool, now=0.0)
+        assert [j.job_id for j, _ in started] == [2]
+
+    def test_depth_limit_respected(self):
+        pool = NodePool(range(10))
+        running = make_job(0, 6, estimate=100.0)
+        pool.allocate(running, now=0.0)
+        head = make_job(1, 8)
+        backfillables = [make_job(i, 1, estimate=10.0) for i in range(2, 8)]
+        q = queued(head, *backfillables)
+        started = BackfillScheduler(max_backfill_depth=2).plan(q, pool, now=0.0)
+        assert len(started) == 2
+
+    def test_backfill_improves_utilization_over_fcfs(self):
+        def run(policy):
+            pool = NodePool(range(10))
+            running = make_job(0, 6, estimate=100.0)
+            pool.allocate(running, now=0.0)
+            q = queued(make_job(1, 8), make_job(2, 2, estimate=50.0))
+            return len(policy.plan(q, pool, now=0.0))
+
+        assert run(BackfillScheduler()) > run(FcfsScheduler())

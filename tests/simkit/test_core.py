@@ -1,0 +1,131 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkit import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=100.0)
+    assert sim.now == 100.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 5.0
+    assert sim.now == 5.0
+
+
+def test_run_until_number_advances_clock_exactly():
+    sim = Simulator()
+    sim.process(iter_timeouts(sim, [1.0, 1.0, 1.0]))
+    sim.run(until=2.5)
+    assert sim.now == 2.5
+
+
+def iter_timeouts(sim, delays):
+    for d in delays:
+        yield sim.timeout(d)
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(3.0)
+        return "done"
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "done"
+
+
+def test_run_until_past_raises():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=5.0)
+
+
+def test_run_until_event_never_fires_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run(until=ev)
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_events_fire_in_fifo_order_at_same_time():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(10):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_step_on_empty_heap_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek_empty_heap_is_inf():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+
+
+def test_call_at_runs_function_at_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(7.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [7.5]
+
+
+def test_call_at_past_raises():
+    sim = Simulator(start_time=5.0)
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_events_processed_counter_increases():
+    sim = Simulator()
+    sim.process(iter_timeouts(sim, [1.0, 1.0]))
+    sim.run()
+    assert sim.events_processed >= 2
+
+
+def test_determinism_same_seed_same_draws():
+    a = Simulator(seed=42).rng.stream("x").random(5)
+    b = Simulator(seed=42).rng.stream("x").random(5)
+    assert (a == b).all()
+
+
+def test_unhandled_failed_event_raises_at_step():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()

@@ -1,0 +1,110 @@
+"""Tests for primitive events and combinators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkit import AllOf, AnyOf, Simulator
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_event_succeed_carries_value():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(123)
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == 123
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError())
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+    t1, t2 = sim.timeout(1.0, "a"), sim.timeout(3.0, "b")
+    cond = AllOf(sim, [t1, t2])
+
+    def proc():
+        result = yield cond
+        return (sim.now, sorted(result.values()))
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == (3.0, ["a", "b"])
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+    t1, t2 = sim.timeout(1.0, "fast"), sim.timeout(3.0, "slow")
+    cond = AnyOf(sim, [t1, t2])
+
+    def proc():
+        result = yield cond
+        return (sim.now, list(result.values()))
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == (1.0, ["fast"])
+
+
+def test_empty_allof_fires_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    assert cond.triggered
+    assert cond.value == {}
+
+
+def test_allof_propagates_failure():
+    sim = Simulator()
+    ok = sim.timeout(1.0)
+    bad = sim.event()
+    bad.fail(ValueError("child failed"))
+    cond = AllOf(sim, [ok, bad])
+
+    def proc():
+        with pytest.raises(ValueError, match="child failed"):
+            yield cond
+        return "handled"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "handled"
+
+
+def test_condition_rejects_foreign_events():
+    sim1, sim2 = Simulator(), Simulator()
+    with pytest.raises(SimulationError):
+        AllOf(sim1, [sim2.timeout(1.0)])
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc():
+        got = yield sim.timeout(2.0, value="payload")
+        return got
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "payload"

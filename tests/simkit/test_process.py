@@ -1,0 +1,151 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.simkit import Simulator
+
+
+def test_process_return_value_is_event_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return 42
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 42
+
+
+def test_process_can_wait_on_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return "child-result"
+
+    def parent():
+        result = yield sim.process(child())
+        return (sim.now, result)
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == (2.0, "child-result")
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent():
+        try:
+            yield sim.process(bad())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == "caught inner"
+
+
+def test_uncaught_process_exception_raises_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            return "slept"
+        except ProcessInterrupt as intr:
+            return ("interrupted", sim.now, intr.cause)
+
+    p = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(3.0)
+        p.interrupt(cause="wake up")
+
+    sim.process(interrupter())
+    sim.run()
+    assert p.value == ("interrupted", 3.0, "wake up")
+
+
+def test_interrupt_finished_process_raises():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_yield_non_event_raises_inside_process():
+    sim = Simulator()
+
+    def bad():
+        yield "not an event"  # type: ignore[misc]
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    sim = Simulator()
+
+    def proc():
+        done = sim.timeout(0.0)
+        yield sim.timeout(1.0)  # let `done` fire and be processed
+        yield done  # already processed: should not deadlock
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 1.0
+
+
+def test_non_generator_body_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_is_alive_lifecycle():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    p = sim.process(proc())
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_process_name_defaults_to_generator_name():
+    sim = Simulator()
+
+    def myproc():
+        yield sim.timeout(1.0)
+
+    p = sim.process(myproc())
+    assert "process" in repr(p) or "myproc" in repr(p)
+    sim.run()

@@ -1,0 +1,134 @@
+"""Tests for Store and Resource queueing primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkit import Resource, Simulator, Store
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+
+    def proc():
+        yield store.put("x")
+        item = yield store.get()
+        return item
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer():
+        item = yield store.get()
+        return (sim.now, item)
+
+    def producer():
+        yield sim.timeout(5.0)
+        yield store.put("late")
+
+    p = sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert p.value == (5.0, "late")
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(5):
+        store.put(i)
+    got = []
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.put("a")
+
+    def producer():
+        yield store.put("b")
+        return sim.now
+
+    def consumer():
+        yield sim.timeout(4.0)
+        yield store.get()
+
+    p = sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert p.value == 4.0
+    assert list(store.items) == ["b"]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put(9)
+    assert store.try_get() == 9
+    assert store.try_get() is None
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
+
+
+def test_resource_acquire_release():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    times = []
+
+    def worker(hold):
+        yield res.acquire()
+        yield sim.timeout(hold)
+        res.release()
+        times.append(sim.now)
+
+    for _ in range(4):
+        sim.process(worker(10.0))
+    sim.run()
+    # capacity 2: two finish at t=10, the next two queue and finish at t=20
+    assert times == [10.0, 10.0, 20.0, 20.0]
+
+
+def test_resource_available_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+    assert res.available == 3
+
+    def worker():
+        yield res.acquire()
+
+    sim.process(worker())
+    sim.run()
+    assert res.available == 2
+
+
+def test_resource_release_without_acquire_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)

@@ -1,0 +1,97 @@
+"""Full-stack integration: every layer exercised in one scenario.
+
+A mid-size ESLURM cluster with stochastic failures, the monitoring
+subsystem alerting, the estimation framework learning online, the
+FP-Tree rearranging, satellites relaying, and the backfill scheduler
+packing a day of calibrated workload — then the same day under Slurm
+for the paper's headline comparisons.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, FailureModel
+from repro.experiments.harness import build_rm
+from repro.sched.job import JobState
+from repro.sched.metrics import ScheduleMetrics
+from repro.simkit import Simulator
+from repro.workload import WorkloadConfig, generate_trace
+
+DAY = 86_400.0
+
+
+def run_day(rm_name: str, seed: int = 13, estimator=None):
+    sim = Simulator(seed=seed)
+    spec = ClusterSpec(
+        n_nodes=512,
+        n_satellites=2,
+        failure_model=FailureModel(mtbf_node_hours=3000.0, repair_hours=2.0),
+    )
+    cluster = spec.build(sim)
+    cluster.failures.start()
+    cluster.monitor.start()
+    rm = build_rm(rm_name, cluster, estimator=estimator)
+    workload = WorkloadConfig.tianhe2a(max_nodes=64, jobs_per_day=250.0)
+    jobs = generate_trace(workload, 250, seed=seed, start_time=1.0)
+    rm.run_trace([j for j in jobs if j.submit_time < 0.9 * DAY], until=DAY)
+    return rm
+
+
+@pytest.fixture(scope="module")
+def eslurm_rm():
+    return run_day("eslurm", estimator="auto")
+
+
+@pytest.fixture(scope="module")
+def slurm_rm():
+    return run_day("slurm")
+
+
+class TestEndToEnd:
+    def test_most_jobs_complete_despite_failures(self, eslurm_rm):
+        states = [j.state for j in eslurm_rm.jobs]
+        completed = sum(s is JobState.COMPLETED for s in states)
+        assert completed / len(states) > 0.6
+
+    def test_monitoring_saw_failures(self, eslurm_rm):
+        cluster = eslurm_rm.cluster
+        assert cluster.failures.failures_injected() > 0
+        assert cluster.monitor.alert_count() > 0
+
+    def test_fptree_construction_happened(self, eslurm_rm):
+        assert eslurm_rm.fptree_stats.trees_built > 10
+        assert eslurm_rm.fptree_stats.leaf_placement_ratio > 0.9
+
+    def test_estimator_learned_online(self, eslurm_rm):
+        est = eslurm_rm.estimator
+        assert est is not None and est.trained
+        assert est.trainings >= 2
+        # planning limits diverge from user estimates once trained
+        tuned = [
+            j for j in eslurm_rm.jobs
+            if j.user_estimate_s and abs(j.planned_s - j.user_estimate_s) > 1.0
+        ]
+        assert tuned
+
+    def test_satellites_carried_the_traffic(self, eslurm_rm):
+        tasks = sum(d.stats.tasks_received for d in eslurm_rm.sat_pool.daemons)
+        assert tasks > 100
+        # master stayed out of slave conversations
+        assert eslurm_rm.master_acct.sockets.peak() < 50
+
+    def test_headline_resource_comparison(self, eslurm_rm, slurm_rm):
+        e, s = eslurm_rm.master_acct, slurm_rm.master_acct
+        assert e.vmem_mb() < s.vmem_mb()
+        assert e.rss_mb() < s.rss_mb()
+        assert e.sockets.peak() < s.sockets.peak()
+
+    def test_schedule_metrics_computable(self, eslurm_rm):
+        m = ScheduleMetrics.from_jobs(eslurm_rm.jobs, 512, horizon_s=DAY)
+        assert 0.0 < m.utilization <= 1.0
+        assert m.avg_slowdown >= 1.0
+
+    def test_determinism_across_full_stack(self):
+        a = run_day("eslurm", seed=21, estimator="auto")
+        b = run_day("eslurm", seed=21, estimator="auto")
+        assert a.master_acct.cpu_time_s == b.master_acct.cpu_time_s
+        assert [j.state for j in a.jobs] == [j.state for j in b.jobs]
+        assert a.fptree_stats.trees_built == b.fptree_stats.trees_built

@@ -1,0 +1,95 @@
+"""Tests for JobTrace and SWF round-tripping."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.sched.job import Job
+from repro.workload import JobTrace, WorkloadConfig, generate_trace, read_swf, write_swf
+
+
+def small_trace(n=50, seed=0):
+    return JobTrace(generate_trace(WorkloadConfig(), n, seed=seed), name="t")
+
+
+class TestJobTrace:
+    def test_sorted_on_construction(self):
+        j1 = Job(1, "a", "u", 1, 10.0, None, submit_time=100.0)
+        j2 = Job(2, "a", "u", 1, 10.0, None, submit_time=50.0)
+        tr = JobTrace([j1, j2])
+        assert tr[0] is j2
+
+    def test_len_iter_getitem(self):
+        tr = small_trace(10)
+        assert len(tr) == 10
+        assert list(tr)[0] is tr[0]
+
+    def test_window(self):
+        tr = small_trace(100)
+        t0 = tr[0].submit_time
+        mid = tr[50].submit_time
+        w = tr.window(t0, mid)
+        assert all(t0 <= j.submit_time < mid for j in w)
+
+    def test_head(self):
+        assert len(small_trace(20).head(5)) == 5
+
+    def test_span_and_stats(self):
+        tr = small_trace(200)
+        st = tr.stats()
+        assert st["n_jobs"] == 200
+        assert st["n_users"] > 1
+        assert st["mean_runtime_s"] > 0
+        assert 0.0 <= st["overestimate_frac"] <= 1.0
+
+    def test_empty_stats(self):
+        assert JobTrace([]).stats() == {"n_jobs": 0}
+        assert JobTrace([]).span_s == 0.0
+
+
+class TestSwfRoundTrip:
+    def test_round_trip_preserves_fields(self, tmp_path):
+        tr = small_trace(40)
+        path = tmp_path / "trace.swf"
+        write_swf(tr, path)
+        back = read_swf(path)
+        assert len(back) == len(tr)
+        for orig, loaded in zip(tr, back):
+            assert loaded.job_id == orig.job_id
+            assert loaded.n_nodes == orig.n_nodes
+            assert loaded.runtime_s == pytest.approx(orig.runtime_s, abs=1.0)
+            if orig.user_estimate_s is not None:
+                assert loaded.user_estimate_s == pytest.approx(orig.user_estimate_s, abs=1.0)
+
+    def test_user_identity_consistent(self, tmp_path):
+        tr = small_trace(60)
+        path = tmp_path / "trace.swf"
+        write_swf(tr, path)
+        back = read_swf(path)
+        # same-user jobs stay same-user after the int mapping
+        orig_groups = {}
+        for j in tr:
+            orig_groups.setdefault(j.user, []).append(j.job_id)
+        new_groups = {}
+        for j in back:
+            new_groups.setdefault(j.user, []).append(j.job_id)
+        assert sorted(map(sorted, orig_groups.values())) == sorted(
+            map(sorted, new_groups.values())
+        )
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text("; header\n\n" + " ".join(["1"] + ["-1"] * 17).replace("-1", "5", 1) + "\n")
+        # runtime field (index 3) is -1 -> skipped entirely
+        assert len(read_swf(path)) == 0
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text("1 2 3\n")
+        with pytest.raises(TraceFormatError):
+            read_swf(path)
+
+    def test_non_numeric_raises(self, tmp_path):
+        path = tmp_path / "bad.swf"
+        path.write_text(" ".join(["x"] * 18) + "\n")
+        with pytest.raises(TraceFormatError):
+            read_swf(path)
