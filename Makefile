@@ -1,0 +1,26 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-chaos chaos-smoke lint-imports
+
+## Full tier-1 suite (the CI gate).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Chaos suite only (fast invariant/property sweep).
+test-chaos:
+	$(PYTHON) -m pytest -q tests/chaos
+
+## Smoke: the acceptance scenario must pass with zero violations,
+## and the same seed twice must produce byte-identical reports.
+chaos-smoke:
+	$(PYTHON) -m pytest -q tests/chaos
+	$(PYTHON) -m repro.cli chaos run failure-storm --seed 7
+	$(PYTHON) -c "from repro.chaos import run_scenario; \
+	a = run_scenario('failure-storm', seed=7).to_text(); \
+	b = run_scenario('failure-storm', seed=7).to_text(); \
+	assert a == b, 'chaos report is not seed-deterministic'; \
+	print('deterministic-seed check: OK')"
+
+lint-imports:
+	$(PYTHON) -c "import repro, repro.chaos, repro.cli"

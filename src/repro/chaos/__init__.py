@@ -1,0 +1,44 @@
+"""Chaos campaigns: adversarial failure schedules + in-line invariants.
+
+The correctness backstop for every scaling/perf PR: named failure
+scenarios run against the full RM stack while simulation-wide
+invariants are checked after every event.  See ``repro chaos run`` for
+the CLI and ``tests/chaos`` for the enforced acceptance properties.
+"""
+
+from repro.chaos.campaign import ddmin, run_scenario, shrink_schedule
+from repro.chaos.invariants import (
+    ChaosContext,
+    Eq1Correctness,
+    FPTreeSoundness,
+    Invariant,
+    InvariantRegistry,
+    NodeConservation,
+    SatelliteLegality,
+    SchedulerConservation,
+    Violation,
+    default_invariants,
+)
+from repro.chaos.report import ChaosReport
+from repro.chaos.scenarios import SCENARIOS, ChaosScenario, ScheduledFault, get_scenario
+
+__all__ = [
+    "SCENARIOS",
+    "ChaosContext",
+    "ChaosReport",
+    "ChaosScenario",
+    "Eq1Correctness",
+    "FPTreeSoundness",
+    "Invariant",
+    "InvariantRegistry",
+    "NodeConservation",
+    "SatelliteLegality",
+    "ScheduledFault",
+    "SchedulerConservation",
+    "Violation",
+    "ddmin",
+    "default_invariants",
+    "get_scenario",
+    "run_scenario",
+    "shrink_schedule",
+]

@@ -1,0 +1,210 @@
+"""The chaos scenario catalogue.
+
+A scenario is a small cluster, a synthetic job stream, and — the point
+of the exercise — a *failure schedule*: a deterministic list of
+:class:`ScheduledFault` records derived from the campaign seed.  The
+runner feeds the schedule through
+:meth:`~repro.cluster.failures.FailureInjector.schedule_fault`, so the
+monitor-announcement path, maintenance-window guard, and recovery
+machinery are exactly the production ones.
+
+Keeping schedules as plain data (rather than background Poisson
+processes) is what makes campaigns replayable and *shrinkable*: a
+failing run can be minimised by re-running subsets of the schedule.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One deterministic fault: ``kind`` hits ``node_ids`` at ``at``."""
+
+    at: float
+    kind: str  # "point" | "burst" | "maintenance" | "flap" | "satellite"
+    node_ids: tuple[int, ...]
+    duration: float
+
+    def sort_key(self) -> tuple[float, str, tuple[int, ...]]:
+        return (self.at, self.kind, self.node_ids)
+
+
+ScheduleBuilder = t.Callable[["ChaosScenario", np.random.Generator], t.List[ScheduledFault]]
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named adversarial setting the campaign runner can execute."""
+
+    name: str
+    description: str
+    n_nodes: int
+    n_satellites: int
+    horizon_s: float
+    n_jobs: int
+    builder: ScheduleBuilder
+
+    def build_schedule(self, rng: np.random.Generator) -> list[ScheduledFault]:
+        """The seed-deterministic fault schedule, sorted by time."""
+        return sorted(self.builder(self, rng), key=ScheduledFault.sort_key)
+
+    def satellite_node_id(self, k: int) -> int:
+        """Cluster node id of satellite ``k`` (they sit after the master)."""
+        return self.n_nodes + 1 + k
+
+
+# -- schedule builders -------------------------------------------------------
+
+def _point_faults(
+    scenario: ChaosScenario,
+    rng: np.random.Generator,
+    count: int,
+    mean_repair_s: float = 1200.0,
+) -> list[ScheduledFault]:
+    """Independent single-node faults, uniform over the first 90 %."""
+    faults = []
+    for _ in range(count):
+        at = float(rng.uniform(60.0, 0.9 * scenario.horizon_s))
+        node = int(rng.integers(scenario.n_nodes))
+        duration = max(60.0, float(rng.exponential(mean_repair_s)))
+        faults.append(ScheduledFault(at, "point", (node,), duration))
+    return faults
+
+
+def _burst_faults(
+    scenario: ChaosScenario, rng: np.random.Generator, count: int
+) -> list[ScheduledFault]:
+    """Correlated contiguous-block faults (a chassis or switch dies)."""
+    faults = []
+    for _ in range(count):
+        at = float(rng.uniform(300.0, 0.8 * scenario.horizon_s))
+        size = int(rng.integers(8, 17))
+        start = int(rng.integers(max(1, scenario.n_nodes - size)))
+        ids = tuple(range(start, min(start + size, scenario.n_nodes)))
+        duration = max(300.0, float(rng.exponential(1800.0)))
+        faults.append(ScheduledFault(at, "burst", ids, duration))
+    return faults
+
+
+def _failure_storm(scenario: ChaosScenario, rng: np.random.Generator) -> list[ScheduledFault]:
+    return _point_faults(scenario, rng, count=40) + _burst_faults(scenario, rng, count=3)
+
+
+def _rolling_maintenance(
+    scenario: ChaosScenario, rng: np.random.Generator
+) -> list[ScheduledFault]:
+    """Rack-by-rack windows that overlap in time, plus stray repairs.
+
+    The overlap is deliberate: a point fault repaired inside a later
+    window is exactly the resurrection case the maintenance guard (and
+    its invariant) must hold against.
+    """
+    block = 16
+    window = 2400.0
+    stagger = 1800.0
+    faults = []
+    for i, start in enumerate(range(0, scenario.n_nodes, block)):
+        ids = tuple(range(start, min(start + block, scenario.n_nodes)))
+        faults.append(ScheduledFault(900.0 + i * stagger, "maintenance", ids, window))
+    faults += _point_faults(scenario, rng, count=10, mean_repair_s=600.0)
+    return faults
+
+
+def _master_takeover_cascade(
+    scenario: ChaosScenario, rng: np.random.Generator
+) -> list[ScheduledFault]:
+    """Kill the satellites one by one until the master is on its own.
+
+    Each satellite fault lasts past the 20-minute FAULT timeout, so the
+    daemons escalate to DOWN and every later broadcast must fail over
+    and eventually be taken over by the master (Section III failover).
+    """
+    faults = [
+        ScheduledFault(
+            900.0 + 600.0 * k,
+            "satellite",
+            (scenario.satellite_node_id(k),),
+            2.5 * HOUR,
+        )
+        for k in range(scenario.n_satellites)
+    ]
+    faults += _point_faults(scenario, rng, count=8)
+    return faults
+
+
+def _flapping_node(scenario: ChaosScenario, rng: np.random.Generator) -> list[ScheduledFault]:
+    """One node fails and recovers every ten minutes, all run long.
+
+    Stresses the down/up bookkeeping of the scheduler pool and the
+    alert TTL logic: the flapper stays predicted-failed essentially
+    forever and must live on FP-Tree leaves.
+    """
+    flapper = int(rng.integers(scenario.n_nodes))
+    faults = []
+    at = 600.0
+    while at < 0.9 * scenario.horizon_s:
+        faults.append(ScheduledFault(at, "flap", (flapper,), 180.0))
+        at += 600.0
+    faults += _point_faults(scenario, rng, count=6)
+    return faults
+
+
+SCENARIOS: dict[str, ChaosScenario] = {
+    s.name: s
+    for s in (
+        ChaosScenario(
+            name="failure-storm",
+            description="dense point faults plus chassis bursts under live load",
+            n_nodes=96,
+            n_satellites=3,
+            horizon_s=4 * HOUR,
+            n_jobs=60,
+            builder=_failure_storm,
+        ),
+        ChaosScenario(
+            name="rolling-maintenance",
+            description="overlapping rack-sized maintenance windows sweep the machine",
+            n_nodes=96,
+            n_satellites=2,
+            horizon_s=5 * HOUR,
+            n_jobs=50,
+            builder=_rolling_maintenance,
+        ),
+        ChaosScenario(
+            name="master-takeover-cascade",
+            description="satellites die in sequence until the master relays alone",
+            n_nodes=64,
+            n_satellites=3,
+            horizon_s=3 * HOUR,
+            n_jobs=40,
+            builder=_master_takeover_cascade,
+        ),
+        ChaosScenario(
+            name="flapping-node",
+            description="one node fails and recovers relentlessly",
+            n_nodes=48,
+            n_satellites=2,
+            horizon_s=3 * HOUR,
+            n_jobs=40,
+            builder=_flapping_node,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> ChaosScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ConfigurationError(f"unknown chaos scenario {name!r} (known: {known})") from None

@@ -1,11 +1,17 @@
 """Command-line entry point: regenerate any paper experiment.
 
-Installed as ``repro-eslurm``::
+Installed as ``repro-eslurm`` (alias ``repro``)::
 
     repro-eslurm list
     repro-eslurm fig7 --quick
     repro-eslurm fig10
     repro-eslurm all --quick
+
+plus the chaos campaign runner::
+
+    repro chaos list
+    repro chaos run failure-storm --seed 7
+    repro chaos run flapping-node --seed 3 --shrink
 """
 
 from __future__ import annotations
@@ -112,7 +118,55 @@ EXPERIMENTS: dict[str, t.Callable[[bool], str]] = {
 }
 
 
+def _chaos_main(argv: t.Sequence[str]) -> int:
+    """``repro chaos ...``: run invariant-checked failure campaigns."""
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Run a chaos campaign with simulation-wide invariant checking.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="enumerate the scenario catalogue")
+    run = sub.add_parser("run", help="execute one scenario and report violations")
+    run.add_argument("scenario", help="scenario name (see 'repro chaos list')")
+    run.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    run.add_argument(
+        "--shrink",
+        action="store_true",
+        help="on violation, ddmin-minimise the fault schedule and print it",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.chaos import SCENARIOS, get_scenario, run_scenario, shrink_schedule
+
+    if args.command == "list":
+        for scenario in SCENARIOS.values():
+            print(f"{scenario.name:<26} {scenario.description}")
+        return 0
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except Exception as exc:
+        parser.error(str(exc))
+    report = run_scenario(scenario, seed=args.seed)
+    print(report.to_text())
+    if report.ok:
+        return 0
+    if args.shrink:
+        minimal = shrink_schedule(scenario, seed=args.seed, schedule=report.schedule)
+        print()
+        print(f"minimal failing schedule ({len(minimal)} of {len(report.schedule)} faults):")
+        for fault in minimal:
+            print(
+                f"  t={fault.at:12.3f}  {fault.kind:<12} "
+                f"dur={fault.duration:10.3f}  nodes={list(fault.node_ids)}"
+            )
+    return 1
+
+
 def main(argv: t.Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-eslurm",
         description="Regenerate the tables and figures of the ESLURM paper (SC'22).",

@@ -102,6 +102,9 @@ class FailureInjector:
         self.events: list[FailureEvent] = []
         self._listeners: list[FailureListener] = []
         self._started = False
+        #: node id -> end of its latest maintenance window; repairs of
+        #: earlier faults must not resurrect a node inside a window.
+        self._maint_until: dict[int, float] = {}
 
     def subscribe(self, listener: FailureListener) -> None:
         """Register a callback invoked on every failure and recovery."""
@@ -175,26 +178,63 @@ class FailureInjector:
         self.sim.call_at(recover_at, lambda: self._recover(actually_failed))
 
     def _recover(self, node_ids: list[int]) -> None:
+        now = self.sim.now
         recovered = []
+        deferred: dict[float, list[int]] = {}
         for nid in node_ids:
+            until = self._maint_until.get(nid, 0.0)
+            if until > now:
+                # The node sits inside a maintenance window: repairing an
+                # earlier fault must not resurrect it early.  Retry when
+                # the window closes.
+                deferred.setdefault(until, []).append(nid)
+                continue
+            if until:
+                del self._maint_until[nid]
             node = self.cluster.node(nid)
             if node.state is NodeState.DOWN:
                 node.recover()
                 recovered.append(nid)
+        for until, ids in sorted(deferred.items()):
+            self.sim.call_at(until, lambda ids=ids: self._recover(ids))
         if recovered:
             self.cluster.bump_version()
             self._notify("recover", recovered)
 
     # -- deterministic scenarios ------------------------------------------
+    def schedule_fault(
+        self, kind: str, at: float, node_ids: t.Sequence[int], duration: float
+    ) -> None:
+        """Deterministically inject one named fault event.
+
+        The chaos campaign runner composes whole failure schedules out
+        of these; the monitor is informed now (strictly before the fault
+        lands), exactly like the stochastic processes do.
+        """
+        ids = [int(n) for n in node_ids]
+        if not ids:
+            raise ConfigurationError(f"{kind} event needs at least one node")
+        if at < self.sim.now:
+            raise ConfigurationError(f"{kind} event at {at} is in the past")
+        if duration <= 0:
+            raise ConfigurationError(f"{kind} event needs a positive duration")
+        if kind == "maintenance":
+            end = at + duration
+            for nid in ids:
+                if end > self._maint_until.get(nid, 0.0):
+                    self._maint_until[nid] = end
+        self.cluster.monitor.on_failure_scheduled(ids, at=at)
+        self.sim.call_at(at, lambda: self._apply(kind, ids, at + duration))
+
     def schedule_maintenance(
         self, at: float, node_ids: t.Sequence[int], duration: float
     ) -> None:
         """Operator-style mass removal (the paper's day-6 600-node event)."""
-        ids = list(node_ids)
-        if not ids:
-            raise ConfigurationError("maintenance event needs at least one node")
-        self.cluster.monitor.on_failure_scheduled(ids, at=at)
-        self.sim.call_at(at, lambda: self._apply("maintenance", ids, at + duration))
+        self.schedule_fault("maintenance", at, node_ids, duration)
+
+    def maintenance_until(self, node_id: int) -> float:
+        """End of the node's latest maintenance window (0.0 if none)."""
+        return self._maint_until.get(node_id, 0.0)
 
     # -- statistics ----------------------------------------------------------
     def failures_injected(self) -> int:

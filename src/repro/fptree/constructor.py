@@ -75,6 +75,12 @@ class ConstructionStats:
         return self.predicted_on_leaves / self.predicted_total
 
 
+#: Construction audit hook: ``(targets, ordered, leaf_idx, predicted)``.
+ConstructObserver = t.Callable[
+    [t.Sequence[int], t.Sequence[int], t.Sequence[int], t.AbstractSet[int]], None
+]
+
+
 class FPTreeConstructor:
     """Builds FP-ordered nodelists for a given tree width."""
 
@@ -84,6 +90,8 @@ class FPTreeConstructor:
         self.predictor = predictor
         self.width = width
         self.stats = ConstructionStats()
+        #: rearrangement audit hooks (chaos invariants; empty otherwise)
+        self.construct_observers: list[ConstructObserver] = []
 
     def construct(self, root: int, targets: t.Sequence[int]) -> list[int]:
         """Return the rearranged *target* list for ``[root] + targets``.
@@ -101,6 +109,8 @@ class FPTreeConstructor:
         predicted = self.predictor.predict(targets)
         ordered = rearrange(list(targets), leaf_idx, predicted)
         self._record(ordered, leaf_idx, predicted)
+        for observer in self.construct_observers:
+            observer(targets, ordered, leaf_idx, predicted)
         return ordered
 
     def _record(self, ordered: list[int], leaf_idx: list[int], predicted: set[int]) -> None:

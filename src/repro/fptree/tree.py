@@ -16,10 +16,46 @@ recurrence is Eq. 2, i.e. Θ(n).
 
 from __future__ import annotations
 
+import contextlib
 import typing as t
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+
+
+class VisitCounter:
+    """Counts recursion steps of the tree walks.
+
+    Tests install one via :func:`count_visits` to assert the paper's
+    O(n) construction-cost claim (Eq. 2) — a quadratic regression shows
+    up as a superlinear visit count long before it shows up as wall
+    time.
+    """
+
+    __slots__ = ("visits",)
+
+    def __init__(self) -> None:
+        self.visits = 0
+
+
+_counter: VisitCounter | None = None
+
+
+@contextlib.contextmanager
+def count_visits(counter: VisitCounter | None = None) -> t.Iterator[VisitCounter]:
+    """Install ``counter`` (created if omitted) for the with-block."""
+    global _counter
+    counter = counter if counter is not None else VisitCounter()
+    previous, _counter = _counter, counter
+    try:
+        yield counter
+    finally:
+        _counter = previous
+
+
+def _visit() -> None:
+    if _counter is not None:
+        _counter.visits += 1
 
 
 @dataclass
@@ -85,6 +121,7 @@ def build_tree(nodelist: t.Sequence[int], width: int) -> TreeNode:
 
     def rec(lo: int, hi: int) -> TreeNode:
         # nodelist[lo] is the subtree root; (lo, hi) holds its descendants.
+        _visit()
         root = TreeNode(nodelist[lo])
         for c_lo, c_hi in _chunk_bounds(lo + 1, hi, width):
             root.children.append(rec(c_lo, c_hi))
@@ -105,6 +142,7 @@ def leaf_positions(n: int, width: int) -> list[int]:
     leaves: list[int] = []
 
     def rec(lo: int, hi: int) -> None:
+        _visit()
         if hi - lo == 1:  # no descendants: position lo is a leaf
             leaves.append(lo)
             return

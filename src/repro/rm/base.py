@@ -397,12 +397,17 @@ class ResourceManager:
 
     # -- failures -----------------------------------------------------------------
     def _on_failure_event(self, kind: str, node_ids: t.Sequence[int], when: float) -> None:
+        # Master/satellite failures carry non-compute ids the scheduler
+        # pool does not manage; their handling lives elsewhere.
         if kind == "recover":
             for nid in node_ids:
-                self.pool.mark_up(nid)
+                if self.pool.has_node(nid):
+                    self.pool.mark_up(nid)
             return
         killed: set[int] = set()
         for nid in node_ids:
+            if not self.pool.has_node(nid):
+                continue
             victim = self.pool.mark_down(nid)
             if victim is not None:
                 killed.add(victim)

@@ -99,6 +99,11 @@ class EslurmRM(ResourceManager):
         """Construction statistics (trees built, leaf placements)."""
         return self._fp_engine.stats
 
+    @property
+    def fp_constructor(self):
+        """The shared FP-Tree constructor (chaos invariants hook here)."""
+        return self._fp_engine.constructor
+
     #: each managed satellite costs the master about this much state,
     #: expressed in compute-node equivalents (Table V's slow growth of
     #: master memory/CPU with the satellite count)

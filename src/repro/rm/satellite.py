@@ -54,6 +54,12 @@ class SatelliteEvent(enum.Enum):
     TIMEOUT = "timeout"
 
 
+#: Observer of one state-machine step: ``(daemon, old, event, new)``.
+#: The chaos invariant layer subscribes here to audit every transition.
+TransitionObserver = t.Callable[
+    ["SatelliteDaemon", "SatelliteState", "SatelliteEvent", "SatelliteState"], None
+]
+
 #: (state, event) -> next state.  Unlisted pairs keep the state.
 _TRANSITIONS: dict[tuple[SatelliteState, SatelliteEvent], SatelliteState] = {
     (SatelliteState.UNKNOWN, SatelliteEvent.HB_SUCCESS): SatelliteState.RUNNING,
@@ -91,18 +97,29 @@ class SatelliteDaemon:
         self.acct = DaemonAccounting(sim, profile, f"satellite.{node.name}")
         self.stats = SatelliteStats()
         self._fault_since: float | None = None
+        #: transition audit hooks (empty outside chaos/invariant runs)
+        self.transition_observers: list[TransitionObserver] = []
+
+    @property
+    def fault_since(self) -> float | None:
+        """When the current FAULT spell began (None outside FAULT)."""
+        return self._fault_since
 
     def handle(self, event: SatelliteEvent) -> SatelliteState:
         """Apply one event; returns the new state."""
+        old = self.state
         if event is SatelliteEvent.SHUTDOWN:
-            self.state = SatelliteState.DOWN
-            return self.state
-        new = _TRANSITIONS.get((self.state, event), self.state)
-        if new is SatelliteState.FAULT and self.state is not SatelliteState.FAULT:
-            self._fault_since = self.sim.now
-        elif new is not SatelliteState.FAULT:
+            new = SatelliteState.DOWN
             self._fault_since = None
+        else:
+            new = _TRANSITIONS.get((old, event), old)
+            if new is SatelliteState.FAULT and old is not SatelliteState.FAULT:
+                self._fault_since = self.sim.now
+            elif new is not SatelliteState.FAULT:
+                self._fault_since = None
         self.state = new
+        for observer in self.transition_observers:
+            observer(self, old, event, new)
         return new
 
     def heartbeat(self) -> None:
@@ -153,6 +170,8 @@ class SatellitePool:
         self._rr = 0
         #: broadcast tasks the master had to execute itself
         self.master_takeovers = 0
+        #: Eq. 1 audit hooks, called ``(s, n, width, m)`` per evaluation
+        self.eq1_observers: list[t.Callable[[int, int, int, int], None]] = []
 
     def __len__(self) -> int:
         return len(self.daemons)
@@ -160,14 +179,18 @@ class SatellitePool:
     # -- Eq. 1 -------------------------------------------------------------
     def compute_n(self, s: int) -> int:
         """Number of satellites for a broadcast to ``s`` slave nodes."""
-        if s <= 0:
-            return 0
         w, m = self.width, len(self.daemons)
-        if s <= w:
-            return 1
-        if s >= m * w:
-            return m
-        return min(-(-s // w), m)
+        if s <= 0:
+            n = 0
+        elif s <= w:
+            n = 1
+        elif s >= m * w:
+            n = m
+        else:
+            n = min(-(-s // w), m)
+        for observer in self.eq1_observers:
+            observer(s, n, w, m)
+        return n
 
     @staticmethod
     def split(targets: t.Sequence[int], n: int) -> list[list[int]]:

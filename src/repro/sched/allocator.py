@@ -53,6 +53,18 @@ class NodePool:
     def n_busy(self) -> int:
         return self.n_total - self.n_free - self.n_down
 
+    def has_node(self, node_id: int) -> bool:
+        """Whether the node belongs to this pool's universe."""
+        return node_id in self._universe
+
+    def free_ids(self) -> frozenset[int]:
+        """Snapshot of the free set (invariant checking / debugging)."""
+        return frozenset(self._free)
+
+    def down_ids(self) -> frozenset[int]:
+        """Snapshot of the out-of-service set."""
+        return frozenset(self._down)
+
     def fits(self, job: Job) -> bool:
         return job.n_nodes <= self.n_free
 

@@ -44,6 +44,10 @@ class Simulator:
         self.rng = RngRegistry(seed)
         #: number of events processed so far (observability / debugging)
         self.events_processed = 0
+        #: zero-arg callables invoked after every processed event; the
+        #: chaos harness hooks invariant checks here.  Probes observe —
+        #: they must not schedule events or mutate simulation state.
+        self._probes: list[t.Callable[[], None]] = []
 
     # -- clock -----------------------------------------------------------
     @property
@@ -91,6 +95,8 @@ class Simulator:
         self.events_processed += 1
         if not event.ok and not event.defused:
             raise t.cast(BaseException, event.value)
+        for probe in self._probes:
+            probe()
 
     # -- run loop ------------------------------------------------------------
     def run(self, until: float | Event | None = None) -> t.Any:
@@ -133,6 +139,15 @@ class Simulator:
             event.defused = True
             raise t.cast(BaseException, event.value)
         raise _StopSimulation(event.value)
+
+    # -- probes ---------------------------------------------------------------
+    def add_probe(self, probe: t.Callable[[], None]) -> None:
+        """Run ``probe()`` after every processed event (in-line checking)."""
+        self._probes.append(probe)
+
+    def remove_probe(self, probe: t.Callable[[], None]) -> None:
+        """Detach a probe previously added with :meth:`add_probe`."""
+        self._probes.remove(probe)
 
     # -- convenience ---------------------------------------------------------
     def call_at(self, when: float, func: t.Callable[[], None]) -> Event:

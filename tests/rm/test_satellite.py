@@ -176,3 +176,30 @@ class TestFailover:
         cluster = ClusterSpec(n_nodes=8, n_satellites=0).build(sim)
         with pytest.raises(ConfigurationError):
             SatellitePool(sim, cluster, SATELLITE_PROFILE)
+
+    def test_takeover_after_two_reallocations(self):
+        """Section III: initial try + max_reallocations (2) retries, then
+        the master takes over — even if a fourth satellite is healthy."""
+        _, cluster, p = pool(n_sats=4)
+        p.heartbeat_all()
+        for s in cluster.satellites[:3]:
+            s.fail()  # dead but still marked RUNNING until tried
+        assert p.assign_task(4) is None
+        assert p.master_takeovers == 1
+        assert sum(d.stats.tasks_failed for d in p.daemons) == 1 + p.max_reallocations
+        # The three tried satellites transitioned to FAULT on BT failure.
+        assert [d.state for d in p.daemons[:3]] == [SatelliteState.FAULT] * 3
+        assert p.daemons[3].state is SatelliteState.RUNNING
+
+    def test_down_satellite_skipped_without_burning_retry(self):
+        """A DOWN satellite is invisible to the rotation: it is never
+        tried, so it consumes no reallocation attempts."""
+        _, cluster, p = pool(n_sats=3)
+        p.heartbeat_all()
+        p.daemons[0].handle(SatelliteEvent.SHUTDOWN)
+        picks = [self.complete(p).node.name for _ in range(6)]
+        assert cluster.satellites[0].name not in picks
+        assert len(set(picks)) == 2  # the two live ones alternate
+        assert p.master_takeovers == 0
+        assert sum(d.stats.tasks_failed for d in p.daemons) == 0
+        assert p.daemons[0].stats.tasks_received == 0

@@ -1,0 +1,123 @@
+"""Property-based tests: the satellite state machine under arbitrary
+event sequences.
+
+Table II is the entire specification: whatever interleaving of
+broadcast events, heartbeats, node failures, and clock advances occurs,
+every transition the daemon takes must be the one the table dictates,
+and a FAULT left unattended past the 20-minute timeout must escalate to
+DOWN on the next heartbeat.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec
+from repro.rm.eslurm import SATELLITE_PROFILE
+from repro.rm.satellite import (
+    FAULT_TIMEOUT_S,
+    _TRANSITIONS,
+    SatelliteDaemon,
+    SatelliteEvent,
+    SatelliteState,
+)
+from repro.simkit import Simulator
+
+#: one scripted action against the daemon or its node
+op_strategy = st.one_of(
+    st.tuples(st.just("advance"), st.floats(1.0, 1500.0)),
+    st.tuples(st.just("fail"), st.none()),
+    st.tuples(st.just("recover"), st.none()),
+    st.tuples(st.just("heartbeat"), st.none()),
+    st.tuples(st.just("event"), st.sampled_from(list(SatelliteEvent))),
+)
+
+
+def expected_next(old, event):
+    if event is SatelliteEvent.SHUTDOWN:
+        return SatelliteState.DOWN
+    return _TRANSITIONS.get((old, event), old)
+
+
+def run_ops(ops):
+    """Execute a scripted op sequence; returns (sim, daemon, trace)."""
+    sim = Simulator(seed=0)
+    cluster = ClusterSpec(n_nodes=8, n_satellites=1).build(sim)
+    daemon = SatelliteDaemon(sim, cluster.satellites[0], SATELLITE_PROFILE)
+    trace = []
+    daemon.transition_observers.append(
+        lambda d, old, event, new: trace.append((old, event, new))
+    )
+    now = 0.0
+    for op, arg in ops:
+        if op == "advance":
+            now += arg
+            sim.run(until=now)
+        elif op == "fail":
+            daemon.node.fail()
+        elif op == "recover":
+            daemon.node.recover()
+        elif op == "heartbeat":
+            daemon.heartbeat()
+        else:
+            daemon.handle(arg)
+    return sim, daemon, trace
+
+
+class TestStateMachineProperties:
+    @given(st.lists(op_strategy, max_size=50))
+    @settings(max_examples=120, deadline=None)
+    def test_every_transition_matches_table_ii(self, ops):
+        _, _, trace = run_ops(ops)
+        for old, event, new in trace:
+            assert new is expected_next(old, event), (old, event, new)
+
+    @given(st.lists(op_strategy, max_size=50))
+    @settings(max_examples=120, deadline=None)
+    def test_fault_since_tracks_fault_state(self, ops):
+        sim, daemon, trace = run_ops(ops)
+        # fault_since is set exactly while in FAULT — it is what the
+        # timeout escalation and the chaos scan invariant read.
+        assert (daemon.state is SatelliteState.FAULT) == (
+            daemon.fault_since is not None
+        )
+        if daemon.fault_since is not None:
+            assert 0.0 <= daemon.fault_since <= sim.now
+
+    @given(st.lists(op_strategy, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_down_only_via_shutdown_or_timeout(self, ops):
+        _, _, trace = run_ops(ops)
+        for old, event, new in trace:
+            if new is SatelliteState.DOWN and old is not SatelliteState.DOWN:
+                assert event in (SatelliteEvent.SHUTDOWN, SatelliteEvent.TIMEOUT)
+                if event is SatelliteEvent.TIMEOUT:
+                    assert old is SatelliteState.FAULT
+
+    @given(st.lists(op_strategy, max_size=30), st.floats(1.0, 3600.0))
+    @settings(max_examples=80, deadline=None)
+    def test_stale_fault_escalates_on_next_heartbeat(self, ops, extra):
+        """However the daemon got into FAULT, a dead node plus a
+        heartbeat after the 20-minute timeout must land in DOWN."""
+        sim, daemon, _ = run_ops(ops)
+        if daemon.state is not SatelliteState.FAULT:
+            return
+        daemon.node.fail()
+        sim.run(until=sim.now + FAULT_TIMEOUT_S + extra)
+        daemon.heartbeat()
+        assert daemon.state is SatelliteState.DOWN
+
+    @given(st.lists(op_strategy, max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_heartbeat_never_escalates_fresh_fault(self, ops):
+        """A FAULT younger than the timeout survives heartbeats (the
+        20-minute grace of Table II is honored, not short-circuited)."""
+        sim, daemon, _ = run_ops(ops)
+        if daemon.state is not SatelliteState.FAULT:
+            return
+        start = daemon.fault_since
+        if sim.now >= start + FAULT_TIMEOUT_S - 1.0:
+            return  # ops already aged the fault past the window
+        daemon.node.fail()
+        sim.run(until=start + FAULT_TIMEOUT_S - 1.0)
+        daemon.heartbeat()
+        assert daemon.state is SatelliteState.FAULT
