@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-chaos chaos-smoke lint-imports
+.PHONY: test test-chaos chaos-smoke test-bench bench-smoke lint-imports
 
 ## Full tier-1 suite (the CI gate).
 test:
@@ -22,5 +22,22 @@ chaos-smoke:
 	assert a == b, 'chaos report is not seed-deterministic'; \
 	print('deterministic-seed check: OK')"
 
+## Bench + telemetry suites only.
+test-bench:
+	$(PYTHON) -m pytest -q tests/bench tests/telemetry
+
+## Smoke: the smoke scenario must produce a schema-valid bench file,
+## and the same seed twice must produce byte-identical files.
+bench-smoke:
+	$(PYTHON) -m pytest -q tests/bench tests/telemetry
+	$(PYTHON) -m repro.cli bench run slurm-1024 --seed 0 --out .bench-smoke
+	$(PYTHON) -m repro.cli bench validate .bench-smoke/BENCH_slurm_1024.json
+	$(PYTHON) -c "from repro.bench import run_bench; \
+	a = run_bench('slurm-1024', seed=0).to_json(); \
+	b = run_bench('slurm-1024', seed=0).to_json(); \
+	assert a == b, 'bench payload is not seed-deterministic'; \
+	print('deterministic-seed check: OK')"
+	rm -rf .bench-smoke
+
 lint-imports:
-	$(PYTHON) -c "import repro, repro.chaos, repro.cli"
+	$(PYTHON) -c "import repro, repro.api, repro.bench, repro.chaos, repro.telemetry, repro.cli"

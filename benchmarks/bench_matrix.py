@@ -1,0 +1,24 @@
+"""The perf-benchmark matrix: every scenario, deterministic payloads.
+
+Quick mode runs the 1K-node column; ``REPRO_FULL=1`` runs all twelve
+scenarios.  Prints the comparison table (run with ``-s`` to see it).
+"""
+
+from benchmarks.conftest import FULL
+from repro.bench import SCENARIOS, render_text, run_matrix
+
+
+def test_bench_matrix(once):
+    names = [n for n, s in SCENARIOS.items() if FULL or s.n_nodes == 1024]
+    results = once(run_matrix, names=names, seed=0)
+    print()
+    print(render_text([r.payload for r in results]))
+    by_name = {r.scenario.name: r.payload for r in results}
+    for name, payload in by_name.items():
+        assert payload["events"] > 0, name
+        assert payload["schedule"]["n_completed"] > 0, name
+        # no host-clock values may leak into the deterministic payload
+        assert not any(k.startswith("host.") for k in payload["counters"])
+    # the hierarchical RM pushes satellite traffic the centralized one lacks
+    assert by_name["eslurm-1024"]["histograms"]["rm.broadcast.satellite_tasks"]["count"] > 0
+    assert "rm.broadcast.satellite_tasks" not in by_name["slurm-1024"]["histograms"]

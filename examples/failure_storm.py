@@ -12,7 +12,7 @@ Run:  python examples/failure_storm.py
 
 from repro.cluster import ClusterSpec, FailureModel
 from repro.cluster.monitoring import MonitoringConfig
-from repro.experiments.harness import build_rm
+from repro.api import build_rm
 from repro.simkit import Simulator
 from repro.workload import WorkloadConfig, generate_trace
 

@@ -9,7 +9,7 @@ Run:  python examples/scaling_study.py
 """
 
 from repro.cluster import ClusterSpec
-from repro.experiments.harness import build_rm
+from repro.api import build_rm
 from repro.experiments.reporting import render_table
 from repro.simkit import Simulator
 from repro.workload import WorkloadConfig, generate_trace

@@ -11,11 +11,10 @@ harness that regenerates every table and figure in the paper.
 
 Quick start::
 
-    from repro import quick_cluster, EslurmRM, run_rm_day
+    from repro import SimulationConfig, run_simulation
 
-    cluster = quick_cluster(n_nodes=1024, seed=7)
-    report = run_rm_day(EslurmRM, cluster, n_jobs=500, seed=7)
-    print(report.summary())
+    result = run_simulation(SimulationConfig(rm="eslurm", n_nodes=1024, seed=7))
+    print(result.report.summary())
 
 Top-level names are loaded lazily so that ``import repro.simkit`` does
 not pull in the whole library.
@@ -29,7 +28,12 @@ from repro._version import __version__
 
 __all__ = [
     "__version__",
+    "SimulationConfig",
+    "SimulationResult",
+    "TelemetryConfig",
+    "run_simulation",
     "quick_cluster",
+    "build_rm",
     "run_rm_day",
     "CentralizedRM",
     "EslurmRM",
@@ -37,8 +41,13 @@ __all__ = [
 ]
 
 _LAZY: dict[str, tuple[str, str]] = {
-    "quick_cluster": ("repro.experiments.harness", "quick_cluster"),
-    "run_rm_day": ("repro.experiments.harness", "run_rm_day"),
+    "SimulationConfig": ("repro.api", "SimulationConfig"),
+    "SimulationResult": ("repro.api", "SimulationResult"),
+    "TelemetryConfig": ("repro.api", "TelemetryConfig"),
+    "run_simulation": ("repro.api", "run_simulation"),
+    "quick_cluster": ("repro.api", "quick_cluster"),
+    "build_rm": ("repro.api", "build_rm"),
+    "run_rm_day": ("repro.api", "run_rm_day"),
     "CentralizedRM": ("repro.rm.centralized", "CentralizedRM"),
     "EslurmRM": ("repro.rm.eslurm", "EslurmRM"),
     "RM_PROFILES": ("repro.rm.profiles", "RM_PROFILES"),

@@ -1,0 +1,35 @@
+"""Performance-benchmark harness: fixed scenario matrix over the RMs.
+
+``repro bench run --all --seed 0`` executes every scenario in
+:mod:`repro.bench.scenarios` and writes one deterministic
+``BENCH_<name>.json`` per scenario (schema in :mod:`repro.bench.schema`);
+``repro bench report`` renders the files as a text or markdown table.
+"""
+
+from repro.bench.report import render_markdown, render_text
+from repro.bench.runner import (
+    BenchResult,
+    load_bench_file,
+    run_bench,
+    run_matrix,
+    write_bench_file,
+)
+from repro.bench.scenarios import SCENARIOS, SMOKE_SCENARIO, BenchScenario, get_scenario
+from repro.bench.schema import SCHEMA, is_deterministic_metric, validate_payload
+
+__all__ = [
+    "SCENARIOS",
+    "SMOKE_SCENARIO",
+    "SCHEMA",
+    "BenchResult",
+    "BenchScenario",
+    "get_scenario",
+    "is_deterministic_metric",
+    "load_bench_file",
+    "render_markdown",
+    "render_text",
+    "run_bench",
+    "run_matrix",
+    "validate_payload",
+    "write_bench_file",
+]

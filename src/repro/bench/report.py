@@ -1,0 +1,54 @@
+"""Render a set of bench payloads as a comparison table.
+
+The report is the human view over ``BENCH_*.json`` files: one row per
+scenario with the throughput numbers and the subsystem counters that
+distinguish the centralized and hierarchical designs.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.experiments.reporting import render_table
+
+#: (column header, extractor) pairs, in display order
+_COLUMNS: list[tuple[str, t.Callable[[dict[str, t.Any]], t.Any]]] = [
+    ("scenario", lambda p: p["name"]),
+    ("seed", lambda p: p["seed"]),
+    ("events", lambda p: p["events"]),
+    ("events/sim-s", lambda p: float(p["events_per_sim_s"])),
+    ("peak heap", lambda p: p["peak_heap_depth"]),
+    ("net msgs", lambda p: int(p["counters"].get("net.messages", 0))),
+    ("broadcasts", lambda p: int(p["counters"].get("rm.broadcasts", 0))),
+    ("sched passes", lambda p: int(p["counters"].get("sched.passes", 0))),
+    ("jobs done", lambda p: p["schedule"].get("n_completed", 0)),
+    ("util", lambda p: float(p["schedule"].get("utilization", 0.0))),
+]
+
+
+def _rows(payloads: t.Sequence[dict[str, t.Any]]) -> list[list[t.Any]]:
+    ordered = sorted(payloads, key=lambda p: (p["scenario"]["rm"], p["scenario"]["n_nodes"], p["name"]))
+    return [[extract(p) for _, extract in _COLUMNS] for p in ordered]
+
+
+def render_text(payloads: t.Sequence[dict[str, t.Any]], title: str = "bench matrix") -> str:
+    """Fixed-width ASCII report."""
+    headers = [h for h, _ in _COLUMNS]
+    return render_table(headers, _rows(payloads), title=title)
+
+
+def render_markdown(payloads: t.Sequence[dict[str, t.Any]], title: str = "Bench matrix") -> str:
+    """GitHub-flavoured markdown table."""
+
+    def cell(x: t.Any) -> str:
+        if isinstance(x, float):
+            return f"{x:.2f}"
+        return str(x)
+
+    headers = [h for h, _ in _COLUMNS]
+    lines = [f"## {title}", ""]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in _rows(payloads):
+        lines.append("| " + " | ".join(cell(c) for c in row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Execute bench scenarios and freeze their deterministic results.
+
+``run_bench`` runs one scenario under a telemetry session and splits
+the outcome in two: a *payload* (simulation-deterministic, what goes
+into ``BENCH_<name>.json`` byte-for-byte) and *host* facts (wall time,
+span timings) that are printed but never written, because they would
+break the same-seed byte-identity the perf trajectory depends on.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+import typing as t
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.api import run_simulation
+from repro.bench.scenarios import SCENARIOS, BenchScenario, get_scenario
+from repro.bench.schema import SCHEMA, is_deterministic_metric, validate_payload
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One executed scenario: the frozen payload plus host-side facts."""
+
+    scenario: BenchScenario
+    seed: int
+    payload: dict[str, t.Any]
+    host_wall_s: float
+    host_metrics: dict[str, t.Any]
+
+    @property
+    def file_name(self) -> str:
+        return f"{self.scenario.file_stem}.json"
+
+    def to_json(self) -> str:
+        """Canonical byte-stable rendering of the payload."""
+        return json.dumps(self.payload, sort_keys=True, indent=2) + "\n"
+
+
+def _split_metrics(
+    snapshot: t.Mapping[str, dict[str, t.Any]],
+) -> tuple[dict[str, t.Any], dict[str, t.Any]]:
+    """(deterministic, host) halves of a telemetry snapshot section."""
+    deterministic = {k: v for k, v in snapshot.items() if is_deterministic_metric(k)}
+    host = {k: v for k, v in snapshot.items() if not is_deterministic_metric(k)}
+    return deterministic, host
+
+
+def run_bench(scenario: str | BenchScenario, seed: int = 0) -> BenchResult:
+    """Run one scenario; returns its validated result."""
+    spec = scenario if isinstance(scenario, BenchScenario) else get_scenario(scenario)
+    # Flush earlier runs' garbage now: a dead simulation finalised
+    # mid-run must not emit anything into this run's telemetry session.
+    gc.collect()
+    start = time.perf_counter()
+    result = run_simulation(spec.simulation_config(seed))
+    host_wall_s = time.perf_counter() - start
+    snapshot = result.telemetry
+    assert snapshot is not None  # telemetry is always on for bench runs
+    counters, host_counters = _split_metrics(snapshot["counters"])
+    gauges, host_gauges = _split_metrics(snapshot["gauges"])
+    histograms, host_histograms = _split_metrics(snapshot["histograms"])
+    events = int(counters.get("sim.events", 0))
+    sim_time_s = float(counters.pop("sim.time_s", spec.horizon_s))
+    peak_heap = int(gauges.get("sim.heap.peak", {}).get("max", 0))
+    schedule = asdict(result.report.schedule) if result.report.schedule else {}
+    payload: dict[str, t.Any] = {
+        "schema": SCHEMA,
+        "name": spec.name,
+        "seed": seed,
+        "scenario": {
+            "rm": spec.rm,
+            "n_nodes": spec.n_nodes,
+            "n_satellites": spec.n_satellites,
+            "failures": spec.failures,
+            "n_jobs": spec.n_jobs,
+            "horizon_s": spec.horizon_s,
+        },
+        "sim_time_s": sim_time_s,
+        "events": events,
+        "events_per_sim_s": events / sim_time_s if sim_time_s else 0.0,
+        "peak_heap_depth": peak_heap,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "master": result.report.master,
+        "schedule": schedule,
+    }
+    validate_payload(payload)
+    return BenchResult(
+        scenario=spec,
+        seed=seed,
+        payload=payload,
+        host_wall_s=host_wall_s,
+        host_metrics={
+            "counters": host_counters,
+            "gauges": host_gauges,
+            "histograms": host_histograms,
+        },
+    )
+
+
+def write_bench_file(result: BenchResult, out_dir: str | Path = ".") -> Path:
+    """Write ``BENCH_<name>.json``; returns the path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / result.file_name
+    path.write_text(result.to_json())
+    return path
+
+
+def run_matrix(
+    names: t.Sequence[str] | None = None,
+    seed: int = 0,
+    out_dir: str | Path | None = None,
+    progress: t.Callable[[str], None] | None = None,
+) -> list[BenchResult]:
+    """Run scenarios (all by default), optionally writing their files.
+
+    Args:
+        names: scenario names; ``None`` runs the whole matrix.
+        seed: master seed for every run.
+        out_dir: where to write ``BENCH_*.json`` (``None`` skips writing).
+        progress: per-scenario status callback (e.g. ``print``).
+    """
+    chosen = list(SCENARIOS) if names is None else list(names)
+    results = []
+    for name in chosen:
+        result = run_bench(name, seed=seed)
+        if out_dir is not None:
+            path = write_bench_file(result, out_dir)
+            where = f" -> {path}"
+        else:
+            where = ""
+        if progress is not None:
+            progress(
+                f"{name:<24} {result.payload['events']:>9} events  "
+                f"host {result.host_wall_s:7.2f}s{where}"
+            )
+        results.append(result)
+    return results
+
+
+def load_bench_file(path: str | Path) -> dict[str, t.Any]:
+    """Read + schema-validate one ``BENCH_*.json``."""
+    payload = json.loads(Path(path).read_text())
+    validate_payload(payload)
+    return payload

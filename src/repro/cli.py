@@ -1,26 +1,240 @@
-"""Command-line entry point: regenerate any paper experiment.
+"""Command-line entry point: experiments, benchmarks, chaos campaigns.
 
 Installed as ``repro-eslurm`` (alias ``repro``)::
 
-    repro-eslurm list
-    repro-eslurm fig7 --quick
-    repro-eslurm fig10
-    repro-eslurm all --quick
+    repro --version
+    repro list                      # paper experiments
+    repro fig7 --quick
+    repro all --quick
 
-plus the chaos campaign runner::
+    repro bench list                # perf-benchmark matrix
+    repro bench run --all --seed 0
+    repro bench report BENCH_*.json --markdown
+    repro bench validate BENCH_*.json
 
-    repro chaos list
-    repro chaos run failure-storm --seed 7
-    repro chaos run flapping-node --seed 3 --shrink
+    repro chaos list                # invariant-checked failure campaigns
+    repro chaos run failure-storm --seed 7 --json
+
+``bench`` and ``chaos`` are registered through the same
+:class:`Subcommand` pattern and share the ``--seed`` / ``--json`` /
+``--out`` flags, so new tool families plug in by adding a table entry.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import typing as t
+from dataclasses import asdict, dataclass
+
+from repro._version import __version__
 
 
+# ---------------------------------------------------------------------------
+# shared subcommand plumbing
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Subcommand:
+    """One verb of a tool family (``repro <family> <name> ...``)."""
+
+    name: str
+    help: str
+    configure: t.Callable[[argparse.ArgumentParser], None]
+    run: t.Callable[[argparse.Namespace], int]
+
+
+def add_common_flags(
+    parser: argparse.ArgumentParser,
+    out_help: str = "write output to this path instead of stdout",
+) -> None:
+    """The flags every tool-family subcommand spells the same way."""
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parser.add_argument("--out", default=None, help=out_help)
+
+
+def dispatch(
+    prog: str,
+    description: str,
+    commands: t.Sequence[Subcommand],
+    argv: t.Sequence[str],
+) -> int:
+    """Parse ``argv`` against a family's subcommand table and run it."""
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for command in commands:
+        cmd_parser = sub.add_parser(command.name, help=command.help)
+        command.configure(cmd_parser)
+        cmd_parser.set_defaults(_run=command.run, _parser=cmd_parser)
+    args = parser.parse_args(argv)
+    return args._run(args)
+
+
+def _emit(text: str, out: str | None) -> None:
+    """Print ``text``, or write it to ``--out`` when given."""
+    if out is None:
+        print(text)
+    else:
+        with open(out, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+
+
+# ---------------------------------------------------------------------------
+# repro bench
+# ---------------------------------------------------------------------------
+def _bench_list(args: argparse.Namespace) -> int:
+    from repro.bench import SCENARIOS
+
+    for scenario in SCENARIOS.values():
+        flags = "failures" if scenario.failures else "-"
+        print(
+            f"{scenario.name:<24} rm={scenario.rm:<7} nodes={scenario.n_nodes:<6} "
+            f"satellites={scenario.n_satellites:<3} {flags}"
+        )
+    return 0
+
+
+def _bench_run_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("names", nargs="*", help="scenario names (see 'repro bench list')")
+    parser.add_argument("--all", action="store_true", help="run the whole matrix")
+    add_common_flags(parser, out_help="directory for BENCH_*.json files (default: cwd)")
+
+
+def _bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import run_matrix
+
+    if args.all == bool(args.names):
+        args._parser.error("pass scenario names or --all (not both)")
+    names = None if args.all else args.names
+    out_dir = args.out if args.out is not None else "."
+    try:
+        results = run_matrix(
+            names=names,
+            seed=args.seed,
+            out_dir=out_dir,
+            progress=None if args.json else print,
+        )
+    except Exception as exc:
+        args._parser.error(str(exc))
+    if args.json:
+        print(json.dumps([r.payload for r in results], sort_keys=True, indent=2))
+    return 0
+
+
+def _bench_files_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files")
+
+
+def _bench_report_configure(parser: argparse.ArgumentParser) -> None:
+    _bench_files_configure(parser)
+    parser.add_argument("--markdown", action="store_true", help="render a markdown table")
+    add_common_flags(parser)
+
+
+def _bench_report(args: argparse.Namespace) -> int:
+    from repro.bench import load_bench_file, render_markdown, render_text
+
+    try:
+        payloads = [load_bench_file(path) for path in args.files]
+    except Exception as exc:
+        args._parser.error(str(exc))
+    if args.json:
+        _emit(json.dumps(payloads, sort_keys=True, indent=2), args.out)
+    elif args.markdown:
+        _emit(render_markdown(payloads), args.out)
+    else:
+        _emit(render_text(payloads), args.out)
+    return 0
+
+
+def _bench_validate(args: argparse.Namespace) -> int:
+    from repro.bench import load_bench_file
+
+    status = 0
+    for path in args.files:
+        try:
+            load_bench_file(path)
+        except Exception as exc:
+            print(f"{path}: INVALID — {exc}")
+            status = 1
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+BENCH_COMMANDS = (
+    Subcommand("list", "enumerate the scenario matrix", lambda p: None, _bench_list),
+    Subcommand("run", "execute scenarios and write BENCH_*.json", _bench_run_configure, _bench_run),
+    Subcommand("report", "render bench files as a table", _bench_report_configure, _bench_report),
+    Subcommand("validate", "schema-check bench files", _bench_files_configure, _bench_validate),
+)
+
+
+# ---------------------------------------------------------------------------
+# repro chaos
+# ---------------------------------------------------------------------------
+def _chaos_list(args: argparse.Namespace) -> int:
+    from repro.chaos import SCENARIOS
+
+    for scenario in SCENARIOS.values():
+        print(f"{scenario.name:<26} {scenario.description}")
+    return 0
+
+
+def _chaos_run_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("scenario", help="scenario name (see 'repro chaos list')")
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="on violation, ddmin-minimise the fault schedule and print it",
+    )
+    add_common_flags(parser)
+
+
+def _chaos_run(args: argparse.Namespace) -> int:
+    from repro.chaos import get_scenario, run_scenario, shrink_schedule
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except Exception as exc:
+        args._parser.error(str(exc))
+    report = run_scenario(scenario, seed=args.seed)
+    if args.json:
+        _emit(json.dumps(asdict(report), sort_keys=True, indent=2), args.out)
+    else:
+        _emit(report.to_text(), args.out)
+    if report.ok:
+        return 0
+    if args.shrink:
+        minimal = shrink_schedule(scenario, seed=args.seed, schedule=report.schedule)
+        print()
+        print(f"minimal failing schedule ({len(minimal)} of {len(report.schedule)} faults):")
+        for fault in minimal:
+            print(
+                f"  t={fault.at:12.3f}  {fault.kind:<12} "
+                f"dur={fault.duration:10.3f}  nodes={list(fault.node_ids)}"
+            )
+    return 1
+
+
+CHAOS_COMMANDS = (
+    Subcommand("list", "enumerate the scenario catalogue", lambda p: None, _chaos_list),
+    Subcommand(
+        "run", "execute one scenario and report violations", _chaos_run_configure, _chaos_run
+    ),
+)
+
+#: tool families reachable as ``repro <family> ...``
+FAMILIES: dict[str, tuple[str, tuple[Subcommand, ...]]] = {
+    "bench": ("Run the fixed perf-benchmark scenario matrix.", BENCH_COMMANDS),
+    "chaos": ("Run a chaos campaign with simulation-wide invariant checking.", CHAOS_COMMANDS),
+}
+
+
+# ---------------------------------------------------------------------------
+# paper experiments (the original verb set)
+# ---------------------------------------------------------------------------
 def _fig5(quick: bool) -> str:
     from repro.experiments.fig5 import render_fig5, run_fig5
 
@@ -118,58 +332,17 @@ EXPERIMENTS: dict[str, t.Callable[[bool], str]] = {
 }
 
 
-def _chaos_main(argv: t.Sequence[str]) -> int:
-    """``repro chaos ...``: run invariant-checked failure campaigns."""
-    parser = argparse.ArgumentParser(
-        prog="repro chaos",
-        description="Run a chaos campaign with simulation-wide invariant checking.",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="enumerate the scenario catalogue")
-    run = sub.add_parser("run", help="execute one scenario and report violations")
-    run.add_argument("scenario", help="scenario name (see 'repro chaos list')")
-    run.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
-    run.add_argument(
-        "--shrink",
-        action="store_true",
-        help="on violation, ddmin-minimise the fault schedule and print it",
-    )
-    args = parser.parse_args(argv)
-
-    from repro.chaos import SCENARIOS, get_scenario, run_scenario, shrink_schedule
-
-    if args.command == "list":
-        for scenario in SCENARIOS.values():
-            print(f"{scenario.name:<26} {scenario.description}")
-        return 0
-
-    try:
-        scenario = get_scenario(args.scenario)
-    except Exception as exc:
-        parser.error(str(exc))
-    report = run_scenario(scenario, seed=args.seed)
-    print(report.to_text())
-    if report.ok:
-        return 0
-    if args.shrink:
-        minimal = shrink_schedule(scenario, seed=args.seed, schedule=report.schedule)
-        print()
-        print(f"minimal failing schedule ({len(minimal)} of {len(report.schedule)} faults):")
-        for fault in minimal:
-            print(
-                f"  t={fault.at:12.3f}  {fault.kind:<12} "
-                f"dur={fault.duration:10.3f}  nodes={list(fault.node_ids)}"
-            )
-    return 1
-
-
 def main(argv: t.Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "chaos":
-        return _chaos_main(argv[1:])
+    if argv and argv[0] in FAMILIES:
+        description, commands = FAMILIES[argv[0]]
+        return dispatch(f"repro {argv[0]}", description, commands, argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-eslurm",
         description="Regenerate the tables and figures of the ESLURM paper (SC'22).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     parser.add_argument(
         "experiment",

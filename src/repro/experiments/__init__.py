@@ -1,13 +1,12 @@
-"""Experiment harness: cluster construction, RM runs, figure drivers.
+"""Experiment drivers: one module per paper figure/table.
 
-:mod:`repro.experiments.harness` builds clusters and runs RM
-simulations with one call; :mod:`repro.experiments.figures` contains a
-driver per paper figure/table (the benchmarks are thin wrappers around
-them); :mod:`repro.experiments.reporting` renders ASCII tables and
-series the way the paper reports them.
+Cluster construction and RM runs live in :mod:`repro.api` (re-exported
+here for convenience); :mod:`repro.experiments.reporting` renders ASCII
+tables and series the way the paper reports them.  The benchmarks in
+``benchmarks/`` are thin wrappers around these drivers.
 """
 
-from repro.experiments.harness import build_rm, quick_cluster, run_rm_day
+from repro.api import build_rm, quick_cluster, run_rm_day
 from repro.experiments.reporting import render_series, render_table
 
 __all__ = [

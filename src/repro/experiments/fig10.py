@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from repro.cluster.failures import FailureModel
 from repro.cluster.spec import ClusterSpec
 from repro.estimate.framework import EslurmEstimator, EstimatorConfig
-from repro.experiments.harness import build_rm
+from repro.api import build_rm
 from repro.experiments.reporting import render_table
 from repro.sched.metrics import ScheduleMetrics
 from repro.simkit.core import Simulator

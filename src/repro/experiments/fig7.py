@@ -12,7 +12,7 @@ import typing as t
 from dataclasses import dataclass, field
 
 from repro.cluster.spec import Cluster, ClusterSpec
-from repro.experiments.harness import build_rm
+from repro.api import build_rm
 from repro.experiments.reporting import render_series, render_table
 from repro.sched.job import Job
 from repro.simkit.core import Simulator

@@ -1,95 +1,33 @@
-"""One-call construction and execution of RM simulations."""
+"""Deprecated location of the simulation harness — use :mod:`repro.api`.
+
+Every helper that lived here (``quick_cluster``, ``build_rm``,
+``run_rm_day``, ``DAY``) moved to :mod:`repro.api` unchanged.  This shim
+keeps old imports working while announcing the move; it will be removed
+once nothing in the wild imports it.
+"""
 
 from __future__ import annotations
 
 import typing as t
+import warnings
 
-from repro.cluster.failures import FailureModel
-from repro.cluster.spec import Cluster, ClusterSpec
-from repro.errors import ConfigurationError
-from repro.rm.base import ResourceManager, RmReport
-from repro.rm.centralized import CentralizedRM
-from repro.rm.eslurm import EslurmRM
-from repro.rm.profiles import RM_PROFILES
-from repro.sched.job import Job
-from repro.simkit.core import Simulator
-from repro.workload.synthetic import WorkloadConfig, generate_trace
-
-DAY = 86_400.0
+#: names this module used to define, now served from repro.api
+_MOVED = ("DAY", "quick_cluster", "build_rm", "run_rm_day")
 
 
-def quick_cluster(
-    n_nodes: int = 1024,
-    n_satellites: int = 2,
-    seed: int = 0,
-    failures: bool = False,
-) -> Cluster:
-    """A ready-to-use cluster on a fresh simulator.
-
-    Args:
-        n_nodes: compute nodes.
-        n_satellites: satellites provisioned (ESLURM uses them).
-        seed: master seed for all randomness.
-        failures: enable the stochastic failure injector.
-    """
-    sim = Simulator(seed=seed)
-    model = FailureModel() if failures else FailureModel.disabled()
-    spec = ClusterSpec(n_nodes=n_nodes, n_satellites=n_satellites, failure_model=model)
-    cluster = spec.build(sim)
-    if failures:
-        cluster.failures.start()
-        cluster.monitor.start()
-    return cluster
-
-
-def build_rm(
-    rm_name: str,
-    cluster: Cluster,
-    estimator: t.Any = None,
-    **kwargs: t.Any,
-) -> ResourceManager:
-    """Construct any of the six RMs on an existing cluster."""
-    if rm_name not in RM_PROFILES:
-        raise ConfigurationError(f"unknown RM {rm_name!r}; choose from {sorted(RM_PROFILES)}")
-    if rm_name == "eslurm":
-        return EslurmRM(cluster.sim, cluster, estimator=estimator, **kwargs)
-    return CentralizedRM.from_name(rm_name, cluster.sim, cluster, estimator=estimator, **kwargs)
-
-
-def run_rm_day(
-    rm: str | type[ResourceManager],
-    cluster: Cluster,
-    n_jobs: int = 500,
-    seed: int = 0,
-    horizon_s: float = DAY,
-    workload: WorkloadConfig | None = None,
-    estimator: t.Any = None,
-    **rm_kwargs: t.Any,
-) -> RmReport:
-    """Run one RM for a day of synthetic workload and report.
-
-    Args:
-        rm: RM name (``"slurm"`` ...) or an RM class.
-        cluster: from :func:`quick_cluster` (owns the simulator).
-        n_jobs: jobs submitted across the horizon.
-        seed: workload seed.
-        horizon_s: how long to simulate.
-        workload: trace generator config; defaults to a config whose
-            job sizes fit the cluster.
-        estimator: runtime estimator handed to the RM.
-    """
-    cfg = workload or WorkloadConfig(
-        max_nodes=max(cluster.n_nodes // 4, 1),
-        jobs_per_day=n_jobs / (horizon_s / DAY),
-    )
-    jobs = generate_trace(cfg, n_jobs, seed=seed, start_time=cluster.sim.now + 1.0)
-    # Clip any stragglers the generator placed beyond the horizon.
-    jobs = [j for j in jobs if j.submit_time < cluster.sim.now + horizon_s * 0.95]
-    if isinstance(rm, str):
-        manager = build_rm(rm, cluster, estimator=estimator, **rm_kwargs)
-    else:
-        manager = rm(cluster.sim, cluster, estimator=estimator, **rm_kwargs) if rm is EslurmRM else rm(
-            cluster.sim, cluster, RM_PROFILES["slurm"], estimator=estimator, **rm_kwargs
+def __getattr__(name: str) -> t.Any:
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.experiments.harness.{name} is deprecated; "
+            f"import it from repro.api instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    manager.run_trace(jobs, until=cluster.sim.now + horizon_s)
-    return manager.report(horizon_s=horizon_s)
+        import repro.api
+
+        return getattr(repro.api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(_MOVED)

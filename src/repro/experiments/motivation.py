@@ -14,7 +14,7 @@ import typing as t
 from dataclasses import dataclass
 
 from repro.cluster.spec import ClusterSpec
-from repro.experiments.harness import build_rm
+from repro.api import build_rm
 from repro.experiments.reporting import render_table
 from repro.simkit.core import Simulator
 from repro.workload.synthetic import WorkloadConfig, generate_trace

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.cluster.spec import ClusterSpec
 from repro.estimate import EslurmEstimator, EstimatorConfig, evaluate_estimator
-from repro.experiments.harness import build_rm
+from repro.api import build_rm
 from repro.experiments.reporting import render_table
 from repro.simkit.core import Simulator
 from repro.workload.synthetic import WorkloadConfig, generate_trace

@@ -22,6 +22,7 @@ import numpy as np
 from repro.cluster.topology import HopLevel
 from repro.errors import ConfigurationError
 from repro.network.message import Message
+from repro.telemetry import facade as telemetry
 
 if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.spec import Cluster
@@ -96,6 +97,10 @@ class NetworkFabric:
     # -- scalar API --------------------------------------------------------
     def transfer_delay(self, src: int, dst: int, size_bytes: int) -> float:
         """Delay for one successful transfer (does not check liveness)."""
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count("net.messages")
+            tel.count("net.bytes", size_bytes)
         cfg = self.config
         hop = self.cluster.topology.hop_level(
             min(src, self.cluster.n_nodes - 1) if src < self.cluster.n_nodes else 0,
@@ -114,6 +119,7 @@ class NetworkFabric:
         """``(delay, delivered)`` for one attempt against live state."""
         if self.is_reachable(dst):
             return self.transfer_delay(src, dst, size_bytes), True
+        telemetry.count("net.timeouts")
         return self.config.dead_node_penalty_s, False
 
     # -- vectorized API (hot path for broadcast evaluation) --------------
@@ -126,6 +132,10 @@ class NetworkFabric:
         cfg = self.config
         topo = self.cluster.topology
         dsts = np.asarray(dsts, dtype=np.int64)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count("net.messages", len(dsts))
+            tel.count("net.bytes", size_bytes * len(dsts))
         n = self.cluster.n_nodes
         src_c = min(src, n - 1) if src < n else 0
         dst_c = np.where(dsts < n, np.minimum(dsts, n - 1), 0)

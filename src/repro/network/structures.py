@@ -27,6 +27,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.fptree.tree import children_bounds
 from repro.network.broadcast import BroadcastResult, BroadcastStructure
+from repro.telemetry import facade as telemetry
 
 if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.fabric import NetworkFabric
@@ -173,8 +174,9 @@ class TreeBroadcast(BroadcastStructure):
         failed: list[int] = []
         makespan = 0.0
         timeouts = 0
+        tel = telemetry.active()
 
-        def dispatch_children(lo: int, hi: int, parent_id: int, ready: float) -> None:
+        def dispatch_children(lo: int, hi: int, parent_id: int, ready: float, level: int) -> None:
             """Asynchronous fan-out from a live parent at time ``ready``."""
             nonlocal makespan, timeouts
             for i, (c_lo, c_hi) in enumerate(children_bounds(lo, hi, self.width)):
@@ -183,9 +185,11 @@ class TreeBroadcast(BroadcastStructure):
                 if fabric.is_reachable(child):
                     arrival = initiated + fabric.transfer_delay(parent_id, child, size_bytes)
                     makespan = max(makespan, arrival)
+                    if tel is not None:
+                        tel.observe(f"net.tree.level{level}.arrival_s", arrival)
                     if record_arrivals:
                         result.arrivals[child] = arrival
-                    dispatch_children(c_lo, c_hi, child, arrival)
+                    dispatch_children(c_lo, c_hi, child, arrival, level + 1)
                 else:
                     timeouts += 1
                     failed.append(child)
@@ -193,9 +197,9 @@ class TreeBroadcast(BroadcastStructure):
                     # is the last *successful* delivery); the takeover of
                     # the orphaned grandchildren starts after the timeout.
                     detected = initiated + penalty
-                    takeover(c_lo, c_hi, parent_id, detected)
+                    takeover(c_lo, c_hi, parent_id, detected, level)
 
-        def takeover(lo: int, hi: int, parent_id: int, start: float) -> float:
+        def takeover(lo: int, hi: int, parent_id: int, start: float, level: int) -> float:
             """Synchronous serial adoption of a dead child's children.
 
             Returns the time the parent finishes the whole takeover;
@@ -208,17 +212,19 @@ class TreeBroadcast(BroadcastStructure):
                 if fabric.is_reachable(grandchild):
                     now += overhead + fabric.transfer_delay(parent_id, grandchild, size_bytes)
                     makespan = max(makespan, now)
+                    if tel is not None:
+                        tel.observe(f"net.tree.level{level + 1}.arrival_s", now)
                     if record_arrivals:
                         result.arrivals[grandchild] = now
-                    dispatch_children(g_lo, g_hi, grandchild, now)
+                    dispatch_children(g_lo, g_hi, grandchild, now, level + 2)
                 else:
                     timeouts += 1
                     failed.append(grandchild)
                     now += penalty  # serial: gates the remaining adoptions
-                    now = takeover(g_lo, g_hi, parent_id, now)
+                    now = takeover(g_lo, g_hi, parent_id, now, level + 1)
             return now
 
-        dispatch_children(0, len(nodelist), root, self.per_target_root_s * len(targets))
+        dispatch_children(0, len(nodelist), root, self.per_target_root_s * len(targets), 1)
         result.makespan_s = makespan
         result.failed = tuple(failed)
         result.n_timeouts = timeouts

@@ -36,6 +36,7 @@ from repro.sched.metrics import ScheduleMetrics
 from repro.sched.queue import JobQueue
 from repro.simkit.core import Simulator
 from repro.simkit.monitor import Tally
+from repro.telemetry import facade as telemetry
 
 
 def tree_depth_estimate(n: int, width: int) -> int:
@@ -264,7 +265,15 @@ class ResourceManager:
         self.master_acct.charge_cpu(
             self.profile.sched_cpu_ms / 1e3 * max(1, min(len(self.queue), 100))
         )
-        decisions = self.scheduler.plan(self.queue, self.pool, self.sim.now)
+        tel = telemetry.active()
+        if tel is None:
+            decisions = self.scheduler.plan(self.queue, self.pool, self.sim.now)
+        else:
+            tel.observe("sched.queue_depth", len(self.queue))
+            with tel.span("sched.plan"):  # host-clock allocation latency
+                decisions = self.scheduler.plan(self.queue, self.pool, self.sim.now)
+            tel.count("sched.passes")
+            tel.count("sched.decisions", len(decisions))
         for job, nodes in decisions:
             for nid in nodes:
                 self.cluster.node(nid).allocate(job.job_id)
@@ -274,6 +283,7 @@ class ResourceManager:
     # -- the job lifecycle process ------------------------------------------
     def _run_job(self, job: Job, nodes: tuple[int, ...]) -> t.Generator:
         submit_like = self.sim.now  # resources held from this instant
+        teardown = False
         try:
             p = self.profile
             self.master_acct.charge_cpu(
@@ -301,8 +311,17 @@ class ResourceManager:
             elif job.state is JobState.PENDING:
                 job.state = JobState.FAILED
                 job.end_time = self.sim.now
+        except GeneratorExit:
+            # Simulator teardown: the run ended with this job in flight
+            # and the generator is being closed (typically by GC long
+            # after the run).  No bookkeeping — the simulation is over,
+            # and a *later* run's telemetry session may be active, so a
+            # release here would count scheduler passes into it.
+            teardown = True
+            raise
         finally:
-            self._release(job, nodes, submit_like)
+            if not teardown:
+                self._release(job, nodes, submit_like)
 
     def _release(self, job: Job, nodes: tuple[int, ...], held_since: float) -> None:
         self._job_procs.pop(job.job_id, None)
@@ -348,6 +367,12 @@ class ResourceManager:
         concurrent = min(len(targets), p.star_concurrency)
         if result.makespan_s > 0:
             self.master_acct.sockets.pulse(concurrent, result.makespan_s)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count("rm.broadcasts")
+            tel.observe("rm.broadcast.makespan_s", result.makespan_s)
+            if result.failed:
+                tel.count("rm.broadcast.undelivered", len(result.failed))
         return result
 
     # -- heartbeats ------------------------------------------------------------
@@ -360,6 +385,7 @@ class ResourceManager:
 
     def _heartbeat_round(self) -> None:
         """Cost of one health sweep; subclasses override the satellite path."""
+        telemetry.count("rm.heartbeat_rounds")
         p = self.profile
         n = self.cluster.n_nodes
         if p.heartbeat_style is HeartbeatStyle.DIRECT:

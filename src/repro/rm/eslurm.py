@@ -34,6 +34,7 @@ from repro.rm.profiles import ESLURM as ESLURM_PROFILE
 from repro.rm.profiles import RMProfile
 from repro.rm.satellite import SatelliteDaemon, SatelliteEvent, SatellitePool
 from repro.simkit.core import Simulator
+from repro.telemetry import facade as telemetry
 
 #: Satellites hold relay state for the whole machine but almost no
 #: per-job state; their memory constants differ from the master's.
@@ -160,13 +161,21 @@ class EslurmRM(ResourceManager):
         ack_wait = p.launch_ack_s * max(
             tree_depth_estimate(max(len(part) for part in parts), p.tree_width), 1
         )
-        return BroadcastResult(
+        result = BroadcastResult(
             structure="eslurm-fptree" if self.use_fptree else "eslurm-tree",
             makespan_s=dispatch_overhead + ack_wait + max(makespans, default=0.0),
             n_targets=s,
             failed=tuple(failed),
             n_timeouts=timeouts,
         )
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count("rm.broadcasts")
+            tel.observe("rm.broadcast.makespan_s", result.makespan_s)
+            tel.observe("rm.broadcast.satellite_tasks", len(parts))
+            if result.failed:
+                tel.count("rm.broadcast.undelivered", len(result.failed))
+        return result
 
     def _relay(self, sat: SatelliteDaemon, part: list[int], size: int) -> BroadcastResult:
         """One satellite relays ``part`` via its FP-Tree."""
@@ -180,6 +189,7 @@ class EslurmRM(ResourceManager):
 
     # -- heartbeats -----------------------------------------------------------------
     def _heartbeat_round(self) -> None:
+        telemetry.count("rm.heartbeat_rounds")
         p = self.profile
         self.sat_pool.heartbeat_all()
         running = self.sat_pool.running()
@@ -196,6 +206,7 @@ class EslurmRM(ResourceManager):
         # FP-Tree makespan for the sweep: cached against liveness/alerts.
         key = (self.cluster.version, self.cluster.monitor.alert_count(), n_sats)
         if key != self._hb_cache_key:
+            telemetry.count("rm.heartbeat.fptree_rebuilds")
             targets = self.cluster.compute_ids()
             parts = self.sat_pool.split(targets, n_sats)
             makespans = []

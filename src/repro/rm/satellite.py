@@ -31,6 +31,7 @@ from repro.errors import ConfigurationError
 from repro.rm.accounting import DaemonAccounting
 from repro.rm.profiles import RMProfile
 from repro.simkit.core import Simulator
+from repro.telemetry import facade as telemetry
 
 #: FAULT -> DOWN after this long without recovering (Table II: >= 20 min).
 FAULT_TIMEOUT_S = 20 * 60.0
@@ -188,6 +189,10 @@ class SatellitePool:
             n = m
         else:
             n = min(-(-s // w), m)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count("rm.eq1.evals")
+            tel.observe("rm.eq1.satellites", n)
         for observer in self.eq1_observers:
             observer(s, n, w, m)
         return n
@@ -241,12 +246,17 @@ class SatellitePool:
             if d.node.responsive:
                 d.stats.tasks_received += 1
                 d.stats.nodes_in_tasks += n_target_nodes
+                if attempts:
+                    telemetry.count("rm.satellite.reallocations", attempts)
                 return d
             # Dead despite RUNNING state: failure during the task.
             d.stats.tasks_failed += 1
             d.handle(SatelliteEvent.BT_FAILURE)
             attempts += 1
+        if attempts:
+            telemetry.count("rm.satellite.reallocations", attempts)
         self.master_takeovers += 1
+        telemetry.count("rm.satellite.master_takeovers")
         return None
 
     def summaries(self) -> list[dict[str, float]]:

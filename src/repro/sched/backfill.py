@@ -25,6 +25,7 @@ import typing as t
 from repro.sched.allocator import NodePool
 from repro.sched.job import Job
 from repro.sched.queue import JobQueue
+from repro.telemetry import facade as telemetry
 
 
 class BackfillScheduler:
@@ -58,7 +59,10 @@ class BackfillScheduler:
         # Phase 2: reservation for the blocked head.
         shadow_time, extra_nodes = self._reservation(head, pool, now)
         # Phase 3: backfill behind the reservation.
+        tel = telemetry.active()
         for job in list(queue.pending_after_head())[: self.max_backfill_depth]:
+            if tel is not None:
+                tel.count("sched.backfill.attempts")
             if not pool.fits(job):
                 continue
             finishes_before_shadow = now + job.planned_s <= shadow_time
@@ -67,6 +71,8 @@ class BackfillScheduler:
                 nodes = pool.allocate(job, now)
                 queue.remove(job)
                 decisions.append((job, nodes))
+                if tel is not None:
+                    tel.count("sched.backfill.starts")
                 if uses_spare_nodes and not finishes_before_shadow:
                     extra_nodes -= job.n_nodes
         return decisions

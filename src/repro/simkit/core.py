@@ -8,6 +8,7 @@ ties deterministically in scheduling order.
 from __future__ import annotations
 
 import heapq
+import time
 import typing as t
 from itertools import count
 
@@ -15,6 +16,7 @@ from repro.errors import SimulationError
 from repro.simkit.events import PRIORITY_NORMAL, PRIORITY_URGENT, Event, Timeout
 from repro.simkit.process import Process
 from repro.simkit.rng import RngRegistry
+from repro.telemetry import facade as telemetry
 
 _INFINITY = float("inf")
 
@@ -122,9 +124,13 @@ class Simulator:
                 raise SimulationError(
                     f"run(until={deadline}) is in the past (now={self._now})"
                 )
+        tel = telemetry.active()
         try:
-            while self._heap and self.peek() <= deadline:
-                self.step()
+            if tel is None:
+                while self._heap and self.peek() <= deadline:
+                    self.step()
+            else:
+                self._run_instrumented(deadline, tel)
         except _StopSimulation as stop:
             return stop.value
         if deadline is not _INFINITY:
@@ -132,6 +138,37 @@ class Simulator:
         if isinstance(until, Event) and not until.triggered:
             raise SimulationError("run(until=event): event heap drained before event fired")
         return None
+
+    def _run_instrumented(self, deadline: float, tel: "telemetry.Telemetry") -> None:
+        """The :meth:`run` loop with event-loop telemetry attached.
+
+        Kept out of the default path entirely: with no telemetry session
+        installed, :meth:`run` executes the same tight loop it always
+        did.  Here every processed event updates the ``sim.events``
+        counter and the heap-depth distribution, and the surrounding
+        wall-clock is reported as host time per simulated second.
+        """
+        start_wall = time.perf_counter()
+        start_sim = self._now
+        events = tel.registry.counter("sim.events")
+        depth_hist = tel.registry.histogram("sim.heap.depth")
+        peak = 0
+        try:
+            while self._heap and self._heap[0][0] <= deadline:
+                depth = len(self._heap)
+                if depth > peak:
+                    peak = depth
+                depth_hist.observe(depth)
+                self.step()
+                events.inc()
+        finally:
+            tel.gauge("sim.heap.peak", peak)
+            sim_advance = self._now - start_sim
+            tel.count("sim.time_s", sim_advance)
+            wall = time.perf_counter() - start_wall
+            tel.count("host.sim.run_wall_s", wall)
+            if sim_advance > 0:
+                tel.observe("host.sim.wall_per_sim_s", wall / sim_advance)
 
     @staticmethod
     def _stop_on(event: Event) -> None:

@@ -1,0 +1,194 @@
+"""Counters, gauges, and histograms with deterministic snapshots.
+
+Metric values are plain Python state: incrementing a counter is a float
+add, observing a histogram is a bisect into fixed buckets.  Everything
+a metric stores is derived from simulation-visible quantities, so two
+same-seed runs produce identical snapshots — the property the bench
+golden files assert.  Host-clock measurements (span wall times) are
+kept out of this module by convention: they live under the ``host.``
+name prefix and the bench writer drops them (see
+:func:`repro.bench.schema.is_deterministic_metric`).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from bisect import bisect_left
+
+from repro.errors import ConfigurationError
+
+#: default histogram bucket upper bounds: one decade per bucket across
+#: the whole range this simulator produces (microsecond latencies up to
+#: multi-day occupations, and counts up to 10^7).
+DEFAULT_BOUNDS: tuple[float, ...] = tuple(10.0**e for e in range(-7, 8))
+
+
+class Counter:
+    """A monotonically-increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise ConfigurationError(f"counter {self.name}: negative increment {value}")
+        self.value += value
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's total into this one."""
+        self.value += other.value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-written value plus the extremes seen along the way."""
+
+    __slots__ = ("name", "value", "min", "max", "n")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.n = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.n += 1
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in (its last write wins when newer)."""
+        if other.n:
+            self.value = other.value
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+            self.n += other.n
+
+    def snapshot(self) -> dict[str, float]:
+        if not self.n:
+            return {"last": 0.0, "min": 0.0, "max": 0.0, "n": 0}
+        return {"last": self.value, "min": self.min, "max": self.max, "n": self.n}
+
+
+class Histogram:
+    """Fixed-bucket distribution: count, sum, extremes, per-bucket tallies.
+
+    Buckets are cumulative-free: ``buckets[i]`` counts observations
+    ``<= bounds[i]`` and greater than ``bounds[i-1]``; one overflow
+    bucket catches the rest.  Fixed bounds make merging two histograms
+    an element-wise add, which is what lets per-worker registries fold
+    into one report.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: t.Sequence[float] = DEFAULT_BOUNDS) -> None:
+        if list(bounds) != sorted(bounds) or not bounds:
+            raise ConfigurationError(f"histogram {name}: bounds must be sorted and non-empty")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Element-wise fold; bounds must match."""
+        if other.bounds != self.bounds:
+            raise ConfigurationError(
+                f"histogram {self.name}: cannot merge mismatched bounds"
+            )
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def snapshot(self) -> dict[str, t.Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            # only non-empty buckets, keyed by upper bound: compact and
+            # stable under bound-list extensions
+            "buckets": {
+                ("inf" if i == len(self.bounds) else repr(self.bounds[i])): n
+                for i, n in enumerate(self.buckets)
+                if n
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store for all three metric kinds."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create -----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, bounds: t.Sequence[float] = DEFAULT_BOUNDS) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, bounds)
+        return h
+
+    # -- folding -----------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's metrics into this one, name by name."""
+        for name, c in other._counters.items():
+            self.counter(name).merge(c)
+        for name, g in other._gauges.items():
+            self.gauge(name).merge(g)
+        for name, h in other._histograms.items():
+            self.histogram(name, h.bounds).merge(h)
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, t.Any]]:
+        """Deterministic nested dict: sorted names, plain JSON types."""
+        return {
+            "counters": {n: self._counters[n].snapshot() for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].snapshot() for n in sorted(self._gauges)},
+            "histograms": {
+                n: self._histograms[n].snapshot() for n in sorted(self._histograms)
+            },
+        }

@@ -1,0 +1,81 @@
+"""Tracing spans: nested host-clock timers around interesting work.
+
+Spans measure *host* wall time (``time.perf_counter``), so their
+numbers are not run-to-run deterministic; every metric a span feeds is
+therefore namespaced ``host.`` and excluded from the deterministic
+bench files (it is still printed in run summaries, which is where
+"how fast is my machine" questions belong).
+"""
+
+from __future__ import annotations
+
+import time
+import typing as t
+from dataclasses import dataclass
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.facade import Telemetry
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    parent: str | None
+    depth: int
+    elapsed_s: float
+
+
+class Span:
+    """Context manager timing one region; re-entrant via fresh instances."""
+
+    __slots__ = ("_tel", "name", "parent", "depth", "_start", "elapsed_s")
+
+    def __init__(self, tel: "Telemetry", name: str) -> None:
+        self._tel = tel
+        self.name = name
+        self.parent: str | None = None
+        self.depth = 0
+        self._start = 0.0
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self._tel._span_stack
+        self.parent = stack[-1].name if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: t.Any) -> None:
+        self.elapsed_s = time.perf_counter() - self._start
+        stack = self._tel._span_stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit, keep the stack sane
+            while stack and stack[-1] is not self:
+                stack.pop()
+            if stack:
+                stack.pop()
+        record = SpanRecord(self.name, self.parent, self.depth, self.elapsed_s)
+        self._tel.sink.record_span(record)
+        self._tel.registry.histogram(f"host.span.{self.name}_s").observe(self.elapsed_s)
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out when telemetry is off.
+
+    A singleton: the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: t.Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()

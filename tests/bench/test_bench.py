@@ -1,0 +1,156 @@
+"""Bench harness: determinism golden files, schema validation, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCENARIOS,
+    SMOKE_SCENARIO,
+    get_scenario,
+    load_bench_file,
+    render_markdown,
+    render_text,
+    run_bench,
+    validate_payload,
+    write_bench_file,
+)
+from repro.errors import ConfigurationError
+
+#: the one scenario unit tests execute (smallest machine, no failures)
+SMOKE = SMOKE_SCENARIO
+
+
+class TestScenarios:
+    def test_matrix_shape(self):
+        # 2 RMs x 3 machine sizes x failures on/off
+        assert len(SCENARIOS) == 12
+        rms = {s.rm for s in SCENARIOS.values()}
+        sizes = {s.n_nodes for s in SCENARIOS.values()}
+        assert rms == {"slurm", "eslurm"}
+        assert sizes == {1024, 4096, 16_384}
+
+    def test_names_match_keys(self):
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("nope")
+
+    def test_file_stem(self):
+        assert get_scenario("slurm-1024").file_stem == "BENCH_slurm_1024"
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self, tmp_path):
+        first = write_bench_file(run_bench(SMOKE, seed=0), tmp_path / "a")
+        second = write_bench_file(run_bench(SMOKE, seed=0), tmp_path / "b")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_different_seed_differs(self):
+        a = run_bench(SMOKE, seed=0).payload
+        b = run_bench(SMOKE, seed=1).payload
+        assert a != b
+        assert a["seed"] == 0 and b["seed"] == 1
+
+    def test_no_host_metrics_in_payload(self):
+        result = run_bench(SMOKE, seed=0)
+        for section in ("counters", "gauges", "histograms"):
+            assert not any(k.startswith("host.") for k in result.payload[section])
+        # host-clock data still exists — it just stays out of the file
+        assert any(
+            k.startswith("host.") for k in result.host_metrics["histograms"]
+        ) or any(k.startswith("host.") for k in result.host_metrics["counters"])
+
+
+class TestPayload:
+    def test_roundtrip_through_file(self, tmp_path):
+        result = run_bench(SMOKE, seed=0)
+        path = write_bench_file(result, tmp_path)
+        assert path.name == "BENCH_slurm_1024.json"
+        assert load_bench_file(path) == result.payload
+
+    def test_subsystem_counters_present(self):
+        payload = run_bench(SMOKE, seed=0).payload
+        for key in ("sim.events", "net.messages", "sched.passes", "rm.broadcasts"):
+            assert payload["counters"].get(key, 0) > 0, key
+        assert payload["events"] > 0
+        assert payload["peak_heap_depth"] > 0
+        assert payload["schedule"]["n_completed"] > 0
+
+    def test_validate_rejects_missing_field(self):
+        payload = dict(run_bench(SMOKE, seed=0).payload)
+        del payload["events"]
+        with pytest.raises(ConfigurationError, match="events"):
+            validate_payload(payload)
+
+    def test_validate_rejects_wrong_schema(self):
+        payload = dict(run_bench(SMOKE, seed=0).payload)
+        payload["schema"] = "repro-bench/0"
+        with pytest.raises(ConfigurationError, match="schema"):
+            validate_payload(payload)
+
+    def test_validate_rejects_host_metric(self):
+        payload = dict(run_bench(SMOKE, seed=0).payload)
+        payload["counters"] = {**payload["counters"], "host.sneaky": 1.0}
+        with pytest.raises(ConfigurationError, match="host.sneaky"):
+            validate_payload(payload)
+
+
+class TestReport:
+    def _payloads(self):
+        return [run_bench(SMOKE, seed=0).payload]
+
+    def test_text_report(self):
+        text = render_text(self._payloads())
+        assert "slurm-1024" in text
+        assert "events" in text
+
+    def test_markdown_report(self):
+        md = render_markdown(self._payloads())
+        assert md.splitlines()[2].startswith("| scenario |")
+        assert "| slurm-1024 |" in md
+
+
+class TestCli:
+    def test_bench_run_writes_valid_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "run", SMOKE, "--seed", "0", "--out", str(tmp_path)]) == 0
+        path = tmp_path / "BENCH_slurm_1024.json"
+        assert path.exists()
+        load_bench_file(path)  # schema-valid
+        assert main(["bench", "validate", str(path)]) == 0
+        assert main(["bench", "report", str(path)]) == 0
+
+    def test_bench_run_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["bench", "run", SMOKE, "--seed", "0", "--out", str(tmp_path), "--json"]
+        ) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert payloads[0]["name"] == SMOKE
+
+    def test_bench_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert all(name in out for name in SCENARIOS)
+
+    def test_bench_run_requires_selection(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["bench", "run"])
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""The repro.api facade: configs, run_simulation, and the harness shim."""
+
+import warnings
+
+import pytest
+
+from repro.api import SimulationConfig, TelemetryConfig, quick_cluster, run_simulation
+from repro.errors import ConfigurationError
+
+
+class TestSimulationConfig:
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            SimulationConfig("eslurm")  # positional use is an error
+
+    def test_unknown_rm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(rm="htcondor")
+
+    def test_monitoring_follows_failures_by_default(self):
+        assert SimulationConfig(failures=True).monitoring_effective is True
+        assert SimulationConfig(failures=False).monitoring_effective is False
+        assert SimulationConfig(failures=True, monitoring=False).monitoring_effective is False
+        assert SimulationConfig(failures=False, monitoring=True).monitoring_effective is True
+
+    def test_frozen(self):
+        cfg = SimulationConfig()
+        with pytest.raises(AttributeError):
+            cfg.rm = "slurm"
+
+
+class TestQuickClusterFlags:
+    @pytest.mark.parametrize("failures", [False, True])
+    @pytest.mark.parametrize("monitoring", [None, False, True])
+    def test_flag_combinations_decoupled(self, failures, monitoring):
+        cluster = quick_cluster(n_nodes=32, failures=failures, monitoring=monitoring)
+        expect_monitor = failures if monitoring is None else monitoring
+        assert cluster.failures._started is failures
+        assert cluster.monitor._started is expect_monitor
+
+
+class TestRunSimulation:
+    def test_top_level_import(self):
+        from repro import SimulationConfig as C
+        from repro import run_simulation as r
+
+        assert C is SimulationConfig and r is run_simulation
+
+    def test_runs_and_reports(self):
+        result = run_simulation(
+            SimulationConfig(rm="slurm", n_nodes=64, seed=3, n_jobs=40)
+        )
+        assert result.config.rm == "slurm"
+        assert result.report.schedule is not None
+        assert result.report.schedule.n_completed > 0
+        assert result.telemetry is None  # off by default
+
+    def test_overrides_on_top_of_config(self):
+        result = run_simulation(
+            SimulationConfig(rm="eslurm", n_nodes=64), rm="slurm", n_jobs=8
+        )
+        assert result.config.rm == "slurm"
+        assert result.config.n_jobs == 8
+
+    def test_telemetry_snapshot_collected(self):
+        result = run_simulation(
+            rm="slurm", n_nodes=64, seed=3, n_jobs=30,
+            telemetry=TelemetryConfig(enabled=True),
+        )
+        assert result.telemetry is not None
+        assert result.telemetry["counters"]["sim.events"] > 0
+
+    def test_session_restored_after_run(self):
+        from repro.telemetry import facade as telemetry
+
+        run_simulation(
+            rm="slurm", n_nodes=32, n_jobs=10, telemetry=TelemetryConfig(enabled=True)
+        )
+        assert telemetry.active() is None
+
+
+class TestHarnessShim:
+    def test_old_imports_resolve_with_deprecation_warning(self):
+        import repro.api
+        import repro.experiments.harness as harness
+
+        for name in ("DAY", "quick_cluster", "build_rm", "run_rm_day"):
+            with pytest.warns(DeprecationWarning, match="repro.api"):
+                assert getattr(harness, name) is getattr(repro.api, name)
+
+    def test_from_import_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.experiments.harness import quick_cluster as shimmed
+        cluster = shimmed(n_nodes=16)
+        assert cluster.n_nodes == 16
+
+    def test_unknown_attribute_still_errors(self):
+        import repro.experiments.harness as harness
+
+        with pytest.raises(AttributeError):
+            harness.no_such_thing
+
+    def test_experiments_package_import_warns_nothing(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.experiments import build_rm  # noqa: F401

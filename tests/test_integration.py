@@ -10,7 +10,7 @@ for the paper's headline comparisons.
 import pytest
 
 from repro.cluster import ClusterSpec, FailureModel
-from repro.experiments.harness import build_rm
+from repro.api import build_rm
 from repro.sched.job import JobState
 from repro.sched.metrics import ScheduleMetrics
 from repro.simkit import Simulator
