@@ -1,11 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-chaos chaos-smoke test-bench bench-smoke lint-imports
+.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke verify-smoke lint-imports
 
 ## Full tier-1 suite (the CI gate).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Tier-1 minus the slow seed sweeps and golden re-runs (CI's quick lane).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+## Everything, including the 25+-seed property sweeps.
+test-slow:
+	$(PYTHON) -m pytest -x -q --slow
 
 ## Chaos suite only (fast invariant/property sweep).
 test-chaos:
@@ -39,5 +47,17 @@ bench-smoke:
 	print('deterministic-seed check: OK')"
 	rm -rf .bench-smoke
 
+## Smoke: every oracle layer must hold on the current tree, and the
+## golden digests must be reproducible byte-for-byte.
+verify-smoke:
+	$(PYTHON) -m pytest -q tests/oracle -m "not slow"
+	$(PYTHON) -m repro.cli verify --seed 42
+	$(PYTHON) -c "from repro.oracle import GOLDEN_SCENARIOS; \
+	from repro.oracle.golden import dump_canonical; \
+	sc = GOLDEN_SCENARIOS[0]; \
+	assert dump_canonical(sc.record()) == dump_canonical(sc.record()), \
+	'golden payload is not seed-deterministic'; \
+	print('deterministic-digest check: OK')"
+
 lint-imports:
-	$(PYTHON) -c "import repro, repro.api, repro.bench, repro.chaos, repro.telemetry, repro.cli"
+	$(PYTHON) -c "import repro, repro.api, repro.bench, repro.chaos, repro.oracle, repro.telemetry, repro.cli"

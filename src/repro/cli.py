@@ -15,9 +15,15 @@ Installed as ``repro-eslurm`` (alias ``repro``)::
     repro chaos list                # invariant-checked failure campaigns
     repro chaos run failure-storm --seed 7 --json
 
-``bench`` and ``chaos`` are registered through the same
+    repro verify --seed 42          # differential + metamorphic + golden oracles
+    repro verify run --update-golden
+    repro verify list               # the relation catalogue
+    repro bench check BENCH_*.json  # judge bench files against the relations
+
+``bench``, ``chaos``, and ``verify`` are registered through the same
 :class:`Subcommand` pattern and share the ``--seed`` / ``--json`` /
 ``--out`` flags, so new tool families plug in by adding a table entry.
+Every checking verb exits nonzero when any check fails.
 """
 
 from __future__ import annotations
@@ -163,11 +169,31 @@ def _bench_validate(args: argparse.Namespace) -> int:
     return status
 
 
+def _bench_check(args: argparse.Namespace) -> int:
+    from repro.bench import load_bench_file
+    from repro.oracle.relations import check_bench_payloads
+
+    try:
+        payloads = [load_bench_file(path) for path in args.files]
+    except Exception as exc:
+        args._parser.error(str(exc))
+    results = check_bench_payloads(payloads)
+    for result in results:
+        print(result.line())
+    failed = sum(1 for r in results if not r.ok)
+    print(f"bench check: {'FAIL' if failed else 'OK'} — {len(results) - failed}/{len(results)} held")
+    return 1 if failed else 0
+
+
 BENCH_COMMANDS = (
     Subcommand("list", "enumerate the scenario matrix", lambda p: None, _bench_list),
     Subcommand("run", "execute scenarios and write BENCH_*.json", _bench_run_configure, _bench_run),
     Subcommand("report", "render bench files as a table", _bench_report_configure, _bench_report),
     Subcommand("validate", "schema-check bench files", _bench_files_configure, _bench_validate),
+    Subcommand(
+        "check", "judge bench files against the paper-shaped relations",
+        _bench_files_configure, _bench_check,
+    ),
 )
 
 
@@ -225,11 +251,86 @@ CHAOS_COMMANDS = (
     ),
 )
 
+
+# ---------------------------------------------------------------------------
+# repro verify
+# ---------------------------------------------------------------------------
+def _verify_list(args: argparse.Namespace) -> int:
+    from repro.oracle import GOLDEN_SCENARIOS, relations_table
+
+    print(f"{'relation':<26} {'layer':<13} {'paper':<28} claim")
+    for relation in relations_table():
+        print(f"{relation.name:<26} {relation.layer:<13} {relation.section:<28} {relation.claim}")
+    for scenario in GOLDEN_SCENARIOS:
+        print(
+            f"{'golden/' + scenario.name:<26} {'golden':<13} {'VI':<28} "
+            f"frozen {scenario.rm} trace, seed {scenario.seed}"
+        )
+    return 0
+
+
+def _verify_run_configure(parser: argparse.ArgumentParser) -> None:
+    from repro.oracle.verify import LAYERS
+
+    parser.add_argument(
+        "--layer",
+        action="append",
+        choices=LAYERS,
+        default=None,
+        help="run only this layer (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="regenerate the frozen golden traces before comparing",
+    )
+    parser.add_argument(
+        "--golden-dir", default=None, help="golden trace directory (default: tests/golden)"
+    )
+    add_common_flags(parser)
+
+
+def _verify_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.oracle.verify import LAYERS, run_verify
+
+    report = run_verify(
+        seed=args.seed,
+        layers=tuple(args.layer) if args.layer else LAYERS,
+        golden_dir=Path(args.golden_dir) if args.golden_dir else None,
+        update_golden=args.update_golden,
+        progress=None if args.json or args.out else print,
+    )
+    if args.json:
+        _emit(json.dumps(report.to_payload(), sort_keys=True, indent=2), args.out)
+    elif args.out:
+        _emit(report.to_text(), args.out)
+    else:
+        failed = report.n_failed
+        print(
+            f"verify: {'FAIL' if failed else 'OK'} — "
+            f"{len(report.results) - failed}/{len(report.results)} relations held"
+        )
+    return 0 if report.ok else 1
+
+
+VERIFY_COMMANDS = (
+    Subcommand("list", "enumerate every relation and golden scenario", lambda p: None, _verify_list),
+    Subcommand(
+        "run", "run the differential/metamorphic/golden oracles", _verify_run_configure, _verify_run
+    ),
+)
+
 #: tool families reachable as ``repro <family> ...``
 FAMILIES: dict[str, tuple[str, tuple[Subcommand, ...]]] = {
     "bench": ("Run the fixed perf-benchmark scenario matrix.", BENCH_COMMANDS),
     "chaos": ("Run a chaos campaign with simulation-wide invariant checking.", CHAOS_COMMANDS),
+    "verify": ("Run the correctness oracles against the current tree.", VERIFY_COMMANDS),
 }
+
+#: families where a bare ``repro <family> [flags]`` implies this verb
+DEFAULT_VERBS: dict[str, str] = {"verify": "run"}
 
 
 # ---------------------------------------------------------------------------
@@ -336,7 +437,14 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in FAMILIES:
         description, commands = FAMILIES[argv[0]]
-        return dispatch(f"repro {argv[0]}", description, commands, argv[1:])
+        rest = argv[1:]
+        default_verb = DEFAULT_VERBS.get(argv[0])
+        implies_default = not rest or (
+            rest[0].startswith("-") and rest[0] not in ("-h", "--help")
+        )
+        if default_verb is not None and implies_default:
+            rest = [default_verb, *rest]
+        return dispatch(f"repro {argv[0]}", description, commands, rest)
     parser = argparse.ArgumentParser(
         prog="repro-eslurm",
         description="Regenerate the tables and figures of the ESLURM paper (SC'22).",

@@ -1,0 +1,231 @@
+"""The differential engine: paired simulations, paper-shaped orderings.
+
+Simulators with no ground truth are checked the way the paper argues
+its claims: *relatively*.  Each relation here runs two arms on an
+identical seeded workload and asserts the ordering the paper reports —
+the master does strictly less work once satellites exist (Section III /
+VII-B), the FP-Tree bounds broadcast latency under injected failures
+(Section IV), and AEA-gated model adoption never loses to raw user
+estimates (Section V).  Same seed, same workload generator, same
+cluster build: any difference between the arms is the treatment, not
+the noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import SimulationConfig, TelemetryConfig, run_simulation
+from repro.cluster.failures import FailureModel
+from repro.cluster.spec import ClusterSpec
+from repro.estimate.framework import EslurmEstimator, EstimatorConfig
+from repro.fptree.constructor import FPTreeBroadcast
+from repro.fptree.predictor import OraclePredictor
+from repro.network.fabric import NetworkFabric
+from repro.network.structures import TreeBroadcast
+from repro.oracle.relations import MASTER_LOAD_NODE_THRESHOLD, Relation, RelationResult
+from repro.simkit.core import Simulator
+from repro.workload.synthetic import WorkloadConfig, generate_trace
+
+DAY = 86_400.0
+
+
+class MasterOffloadRelation(Relation):
+    """slurm vs eslurm on one workload: the master must get cheaper.
+
+    Both arms replay the identical seeded job stream on the identical
+    machine; above :data:`~repro.oracle.relations.MASTER_LOAD_NODE_THRESHOLD`
+    nodes the ESLURM master must be strictly lower on CPU time, socket
+    peak, and messages sent (the ``rm.master.msgs`` telemetry counter) —
+    the satellites absorbed that load or the architecture is broken.
+    """
+
+    name = "master-offload"
+    layer = "differential"
+    section = "III, VII-B (Fig. 7)"
+    claim = "ESLURM master CPU/sockets/messages strictly below Slurm's at >= threshold nodes"
+
+    def __init__(
+        self,
+        n_nodes: int = 2 * MASTER_LOAD_NODE_THRESHOLD,
+        n_satellites: int = 4,
+        n_jobs: int = 120,
+        horizon_s: float = 2 * 3600.0,
+    ) -> None:
+        self.n_nodes = n_nodes
+        self.n_satellites = n_satellites
+        self.n_jobs = n_jobs
+        self.horizon_s = horizon_s
+
+    def _arm(self, rm: str, seed: int) -> dict[str, float]:
+        workload = WorkloadConfig(
+            jobs_per_day=self.n_jobs * DAY / (0.6 * self.horizon_s),
+            max_nodes=max(1, self.n_nodes // 4),
+            name=f"oracle-{self.name}",
+        )
+        result = run_simulation(
+            SimulationConfig(
+                rm=rm,
+                n_nodes=self.n_nodes,
+                n_satellites=self.n_satellites,
+                seed=seed,
+                n_jobs=self.n_jobs,
+                horizon_s=self.horizon_s,
+                workload=workload,
+                telemetry=TelemetryConfig(enabled=True),
+            )
+        )
+        assert result.telemetry is not None
+        return {
+            "cpu_time_min": result.report.master["cpu_time_min"],
+            "sockets_peak": result.report.master["sockets_peak"],
+            "master_msgs": float(result.telemetry["counters"].get("rm.master.msgs", 0.0)),
+        }
+
+    def run(self, seed: int = 0) -> RelationResult:
+        slurm = self._arm("slurm", seed)
+        eslurm = self._arm("eslurm", seed)
+        breaches = [
+            f"{key}: eslurm {eslurm[key]:.4g} !< slurm {slurm[key]:.4g}"
+            for key in ("cpu_time_min", "sockets_peak", "master_msgs")
+            if not eslurm[key] < slurm[key]
+        ]
+        detail = (
+            f"n={self.n_nodes} seed={seed}: "
+            f"cpu {eslurm['cpu_time_min']:.3f} vs {slurm['cpu_time_min']:.3f} min, "
+            f"sockets {eslurm['sockets_peak']:.0f} vs {slurm['sockets_peak']:.0f}, "
+            f"msgs {eslurm['master_msgs']:.0f} vs {slurm['master_msgs']:.0f}"
+        )
+        if breaches:
+            detail += " | " + "; ".join(breaches)
+        return self._result(not breaches, detail)
+
+
+class FPTreeFailureBoundRelation(Relation):
+    """FP-Tree vs plain k-ary broadcast under injected leaf failures.
+
+    Same fabric, same dead set, perfect prediction (the ablation upper
+    bound): the FP-Tree makespan must never exceed the plain tree's,
+    must beat it strictly when a dead node sits on an inner position of
+    the naive layout, and must stay within one dead-node penalty of the
+    healthy makespan — Section IV's bound: predicted-failed nodes demote
+    to leaves, where a timeout delays nobody downstream.
+    """
+
+    name = "fptree-failure-bound"
+    layer = "differential"
+    section = "IV (Fig. 3/4), VII-A (Fig. 8)"
+    claim = "FP-Tree broadcast latency under failures <= plain k-ary, bounded by healthy + 1 timeout"
+
+    def __init__(self, n_nodes: int = 256, width: int = 8, n_dead: int = 12, size_bytes: int = 1024) -> None:
+        self.n_nodes = n_nodes
+        self.width = width
+        self.n_dead = n_dead
+        self.size_bytes = size_bytes
+
+    def run(self, seed: int = 0) -> RelationResult:
+        sim = Simulator(seed=seed)
+        cluster = ClusterSpec(
+            n_nodes=self.n_nodes,
+            n_satellites=1,
+            failure_model=FailureModel.disabled(),
+            name=f"oracle-{self.name}",
+        ).build(sim)
+        fabric = NetworkFabric(sim, cluster)
+        targets = cluster.compute_ids()
+        rng = np.random.default_rng(seed)
+        dead = {int(i) for i in rng.choice(self.n_nodes, size=self.n_dead, replace=False)}
+        # Guarantee at least one dead node on an *inner* position of the
+        # naive layout (position 1 of [root]+targets is always inner for
+        # width >= 2 and n > width) so the strict ordering is decidable.
+        dead.add(targets[0])
+        root = cluster.master.node_id
+        healthy = TreeBroadcast(width=self.width).simulate(root, targets, self.size_bytes, fabric)
+        cluster.fail_nodes(sorted(dead))
+        plain = TreeBroadcast(width=self.width).simulate(root, targets, self.size_bytes, fabric)
+        fp = FPTreeBroadcast(OraclePredictor(cluster), width=self.width).simulate(
+            root, targets, self.size_bytes, fabric
+        )
+        penalty = fabric.config.dead_node_penalty_s
+        slack = self.width * fabric.config.send_overhead_s + 1e-9
+        bounded = fp.makespan_s <= healthy.makespan_s + penalty + slack
+        ordered = fp.makespan_s < plain.makespan_s
+        delivered = len(fp.failed) == len(dead)
+        detail = (
+            f"n={self.n_nodes} w={self.width} dead={len(dead)} seed={seed}: "
+            f"healthy {healthy.makespan_s:.4f}s, plain {plain.makespan_s:.4f}s, "
+            f"fp {fp.makespan_s:.4f}s (penalty {penalty:.1f}s)"
+        )
+        if not ordered:
+            detail += " | fp !< plain with a dead inner node"
+        if not bounded:
+            detail += " | fp exceeds healthy + one timeout"
+        if not delivered:
+            detail += f" | fp missed {len(dead) - len(fp.failed)} dead-node timeouts"
+        return self._result(ordered and bounded and delivered, detail)
+
+
+class EstimatorGateRelation(Relation):
+    """AEA-gated model adoption vs raw user estimates, replayed offline.
+
+    The framework replays a seeded trace job by job (estimate at
+    submission, observe at completion).  Over every job that carries a
+    user estimate, the runtime-weighted absolute error of the *gated*
+    estimates must not exceed the user estimates' error (small tolerance
+    for ties): the AEA gate exists precisely so the model is only
+    trusted where it has proven itself (Section V, Table VIII).
+    """
+
+    name = "estimator-aea-gate"
+    layer = "differential"
+    section = "V (Eq. 3-5), VII-C (Table VIII)"
+    claim = "AEA-gated estimates never worse than user estimates on runtime-weighted error"
+
+    #: multiplicative tolerance on the error ratio — the gate guarantees
+    #: "not worse", not "always strictly better", and the last few
+    #: pre-training jobs are pass-through ties.
+    TOLERANCE = 1.02
+
+    def __init__(self, n_jobs: int = 500, k_clusters: int = 12) -> None:
+        self.n_jobs = n_jobs
+        self.k_clusters = k_clusters
+
+    def run(self, seed: int = 0) -> RelationResult:
+        jobs = generate_trace(
+            WorkloadConfig(n_users=16, n_apps=12, jobs_per_day=2000.0, max_nodes=64),
+            self.n_jobs,
+            seed=seed,
+        )
+        estimator = EslurmEstimator(
+            EstimatorConfig(k_clusters=self.k_clusters), rng=np.random.default_rng(seed)
+        )
+        gated_num = user_num = weight_sum = 0.0
+        n_scored = 0
+        for job in jobs:
+            estimate = estimator.estimate(job, job.submit_time)
+            if job.user_estimate_s is not None:
+                gated = estimate if estimate is not None else job.user_estimate_s
+                weight = job.runtime_s
+                gated_num += weight * abs(gated - job.runtime_s)
+                user_num += weight * abs(job.user_estimate_s - job.runtime_s)
+                weight_sum += weight
+                n_scored += 1
+            estimator.observe(job, job.submit_time)
+        if weight_sum == 0:
+            return self._result(False, f"seed={seed}: no jobs carried user estimates")
+        gated_err = gated_num / weight_sum
+        user_err = user_num / weight_sum
+        ok = gated_err <= user_err * self.TOLERANCE
+        detail = (
+            f"seed={seed} jobs={n_scored}: weighted error gated {gated_err:.1f}s "
+            f"vs user {user_err:.1f}s (ratio {gated_err / user_err:.3f})"
+        )
+        return self._result(ok, detail)
+
+
+#: the differential registry, in paper-section order
+DIFFERENTIAL_RELATIONS: tuple[Relation, ...] = (
+    MasterOffloadRelation(),
+    FPTreeFailureBoundRelation(),
+    EstimatorGateRelation(),
+)

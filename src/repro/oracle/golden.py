@@ -1,0 +1,229 @@
+"""Golden traces: frozen event-stream digests for regression pinning.
+
+Differential and metamorphic relations catch *wrong* behaviour; golden
+traces catch *changed* behaviour.  Each scenario runs a short canonical
+simulation with a :class:`TraceDigest` attached to the simulator's
+trace-hook seam, folding every processed event's ``(time, priority,
+sequence)`` triple into one SHA-256.  The digest plus a summarized
+metric vector is frozen under ``tests/golden/GOLDEN_<scenario>.json``;
+any event inserted, dropped, re-ordered, or re-timed anywhere in the
+stack changes the hash.
+
+Two rules keep this honest:
+
+* same seed ⇒ byte-identical file — every recorded quantity derives
+  from simulated state, never the host clock;
+* the files regenerate **only** through ``repro verify
+  --update-golden`` — a mismatch is a finding to explain (and then
+  deliberately re-freeze), not noise to silence.
+
+Scenario seeds are baked into the scenario definitions (a digest is
+only meaningful against the workload it froze), so the golden layer
+ignores the CLI's ``--seed``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import typing as t
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.api import build_rm, quick_cluster
+from repro.oracle.relations import RelationResult
+from repro.workload.synthetic import WorkloadConfig, generate_trace
+
+SCHEMA = "repro-golden/1"
+
+#: repo root (this file lives at src/repro/oracle/golden.py)
+DEFAULT_GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+class TraceDigest:
+    """SHA-256 over the deterministic event stream of one simulator.
+
+    Attach via :meth:`repro.simkit.core.Simulator.add_trace_hook`; each
+    processed event folds its ``(time, priority, seq)`` into the hash as
+    packed little-endian ``double, int64, int64`` — the full heap
+    ordering key, so the digest pins the exact replay order.
+    """
+
+    def __init__(self) -> None:
+        self._sha = hashlib.sha256()
+        self.events = 0
+        self.last_time = 0.0
+
+    def hook(self, when: float, priority: int, seq: int) -> None:
+        self._sha.update(struct.pack("<dqq", when, priority, seq))
+        self.events += 1
+        self.last_time = when
+
+    def hexdigest(self) -> str:
+        return self._sha.hexdigest()
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One canonical frozen-trace scenario."""
+
+    name: str
+    rm: str
+    n_nodes: int
+    n_satellites: int
+    seed: int
+    failures: bool = False
+    estimator: t.Any = None
+    #: the generator spreads arrivals diurnally over a day, so golden
+    #: runs use a full-day horizon — enough completions to train the
+    #: estimator and enough contention for scheduling to matter
+    n_jobs: int = 300
+    horizon_s: float = 86_400.0
+
+    def record(self) -> dict[str, t.Any]:
+        """Run the scenario and return its golden payload."""
+        cluster = quick_cluster(
+            n_nodes=self.n_nodes,
+            n_satellites=self.n_satellites,
+            seed=self.seed,
+            failures=self.failures,
+        )
+        digest = TraceDigest()
+        cluster.sim.add_trace_hook(digest.hook)
+        manager = build_rm(self.rm, cluster, estimator=self.estimator)
+        workload = WorkloadConfig(
+            jobs_per_day=self.n_jobs * 86_400.0 / self.horizon_s,
+            max_nodes=max(1, self.n_nodes // 4),
+            name=f"golden-{self.name}",
+        )
+        jobs = generate_trace(workload, self.n_jobs, seed=self.seed, start_time=cluster.sim.now + 1.0)
+        jobs = [j for j in jobs if j.submit_time < cluster.sim.now + self.horizon_s * 0.95]
+        manager.run_trace(jobs, until=cluster.sim.now + self.horizon_s)
+        report = manager.report(horizon_s=self.horizon_s)
+        assert report.schedule is not None
+        return {
+            "schema": SCHEMA,
+            "scenario": self.name,
+            "config": {
+                "rm": self.rm,
+                "n_nodes": self.n_nodes,
+                "n_satellites": self.n_satellites,
+                "seed": self.seed,
+                "failures": self.failures,
+                "estimator": "auto" if self.estimator == "auto" else None,
+                "n_jobs": self.n_jobs,
+                "horizon_s": self.horizon_s,
+            },
+            "trace": {
+                "digest": f"sha256:{digest.hexdigest()}",
+                "events": digest.events,
+                "last_event_time_s": digest.last_time,
+            },
+            "metrics": {
+                "master": dict(report.master),
+                "schedule": asdict(report.schedule),
+            },
+        }
+
+
+#: the canonical frozen scenarios — small enough to re-run on every
+#: ``repro verify``, together covering both RMs, failure injection, and
+#: the estimation framework
+GOLDEN_SCENARIOS: tuple[GoldenScenario, ...] = (
+    GoldenScenario(name="slurm-base", rm="slurm", n_nodes=64, n_satellites=1, seed=42),
+    GoldenScenario(name="eslurm-base", rm="eslurm", n_nodes=64, n_satellites=2, seed=42),
+    GoldenScenario(
+        name="eslurm-failures", rm="eslurm", n_nodes=64, n_satellites=2, seed=42, failures=True
+    ),
+    GoldenScenario(
+        name="eslurm-estimator", rm="eslurm", n_nodes=64, n_satellites=2, seed=42, estimator="auto"
+    ),
+)
+
+
+def golden_path(golden_dir: Path, name: str) -> Path:
+    return Path(golden_dir) / f"GOLDEN_{name}.json"
+
+
+def dump_canonical(payload: t.Mapping[str, t.Any]) -> str:
+    """The canonical byte form — sorted keys, two-space indent."""
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def write_golden(
+    golden_dir: Path | None = None,
+    scenarios: t.Sequence[GoldenScenario] = GOLDEN_SCENARIOS,
+) -> list[Path]:
+    """Re-run every scenario and freeze its payload (``--update-golden``)."""
+    out_dir = Path(golden_dir) if golden_dir is not None else DEFAULT_GOLDEN_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for scenario in scenarios:
+        path = golden_path(out_dir, scenario.name)
+        path.write_text(dump_canonical(scenario.record()))
+        paths.append(path)
+    return paths
+
+
+def load_golden(golden_dir: Path | None = None) -> dict[str, dict[str, t.Any]]:
+    """Frozen payloads by scenario name (missing files simply absent)."""
+    src = Path(golden_dir) if golden_dir is not None else DEFAULT_GOLDEN_DIR
+    loaded: dict[str, dict[str, t.Any]] = {}
+    for path in sorted(src.glob("GOLDEN_*.json")):
+        payload = json.loads(path.read_text())
+        loaded[payload["scenario"]] = payload
+    return loaded
+
+
+def compare(current: t.Mapping[str, t.Any], frozen: t.Mapping[str, t.Any]) -> list[RelationResult]:
+    """Judge a fresh recording against its frozen payload."""
+    name = current["scenario"]
+    results = []
+    cur_tr, froz_tr = current["trace"], frozen["trace"]
+    digest_ok = cur_tr["digest"] == froz_tr["digest"]
+    detail = f"{cur_tr['events']} events, {cur_tr['digest'][:23]}…"
+    if not digest_ok:
+        detail = (
+            f"event stream diverged: {cur_tr['events']} events vs frozen {froz_tr['events']}, "
+            f"{cur_tr['digest'][:23]}… vs {froz_tr['digest'][:23]}…"
+        )
+    results.append(
+        RelationResult(relation=f"golden-digest/{name}", ok=digest_ok, detail=detail, layer="golden")
+    )
+    metrics_ok = current["metrics"] == frozen["metrics"]
+    m_detail = "metric vector matches frozen values"
+    if not metrics_ok:
+        diffs = [
+            f"{section}.{key}"
+            for section in current["metrics"]
+            for key in current["metrics"][section]
+            if current["metrics"][section][key] != frozen["metrics"].get(section, {}).get(key)
+        ]
+        m_detail = f"metrics diverged: {', '.join(diffs[:5]) or 'section mismatch'}"
+    results.append(
+        RelationResult(relation=f"golden-metrics/{name}", ok=metrics_ok, detail=m_detail, layer="golden")
+    )
+    return results
+
+
+def check_golden(
+    golden_dir: Path | None = None,
+    scenarios: t.Sequence[GoldenScenario] = GOLDEN_SCENARIOS,
+) -> list[RelationResult]:
+    """Re-run every scenario and compare against the frozen files."""
+    frozen = load_golden(golden_dir)
+    results: list[RelationResult] = []
+    for scenario in scenarios:
+        if scenario.name not in frozen:
+            results.append(
+                RelationResult(
+                    relation=f"golden-digest/{scenario.name}",
+                    ok=False,
+                    detail="no frozen trace on disk — run `repro verify --update-golden`",
+                    layer="golden",
+                )
+            )
+            continue
+        results.extend(compare(scenario.record(), frozen[scenario.name]))
+    return results

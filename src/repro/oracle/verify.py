@@ -1,0 +1,111 @@
+"""The ``repro verify`` engine: run every oracle layer, one verdict.
+
+Composes the three layers — differential relations, metamorphic
+relations, golden-trace comparison — into a single report with a
+process-exit-friendly ``ok``.  The CLI wrapper in :mod:`repro.cli` is a
+thin shell over :func:`run_verify`.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.oracle.relations import RelationResult
+
+LAYERS = ("differential", "metamorphic", "golden")
+
+
+@dataclass
+class VerifyReport:
+    """Every relation outcome of one verification run."""
+
+    seed: int
+    results: list[RelationResult] = field(default_factory=list)
+    #: golden files written by ``--update-golden`` (empty otherwise)
+    updated: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+    def to_text(self) -> str:
+        lines = [r.line() for r in self.results]
+        for path in self.updated:
+            lines.append(f"[gold] wrote {path}")
+        verdict = "OK" if self.ok else "FAIL"
+        lines.append(
+            f"verify: {verdict} — {len(self.results) - self.n_failed}/{len(self.results)} "
+            f"relations held (seed {self.seed})"
+        )
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict[str, t.Any]:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "n_relations": len(self.results),
+            "n_failed": self.n_failed,
+            "updated": list(self.updated),
+            "results": [
+                {"relation": r.relation, "layer": r.layer, "ok": r.ok, "detail": r.detail}
+                for r in self.results
+            ],
+        }
+
+
+def run_verify(
+    seed: int = 0,
+    layers: t.Sequence[str] = LAYERS,
+    golden_dir: Path | None = None,
+    update_golden: bool = False,
+    progress: t.Callable[[str], None] | None = None,
+) -> VerifyReport:
+    """Run the requested oracle layers and collect every outcome.
+
+    Args:
+        seed: master seed for the differential and metamorphic layers
+            (golden scenarios carry their own frozen seeds).
+        layers: subset of :data:`LAYERS` to run, in that order.
+        golden_dir: where frozen traces live (default ``tests/golden``).
+        update_golden: regenerate the frozen files instead of comparing
+            against them.
+        progress: per-relation callback (the CLI streams lines through
+            it; pass ``None`` for silent collection).
+    """
+    unknown = set(layers) - set(LAYERS)
+    if unknown:
+        raise ValueError(f"unknown verify layers: {sorted(unknown)}")
+    report = VerifyReport(seed=seed)
+
+    def record(result: RelationResult) -> None:
+        report.results.append(result)
+        if progress is not None:
+            progress(result.line())
+
+    if "differential" in layers:
+        from repro.oracle.differential import DIFFERENTIAL_RELATIONS
+
+        for relation in DIFFERENTIAL_RELATIONS:
+            record(relation.run(seed=seed))
+    if "metamorphic" in layers:
+        from repro.oracle.metamorphic import METAMORPHIC_RELATIONS
+
+        for relation in METAMORPHIC_RELATIONS:
+            record(relation.run(seed=seed))
+    if "golden" in layers:
+        from repro.oracle.golden import check_golden, write_golden
+
+        if update_golden:
+            for path in write_golden(golden_dir):
+                report.updated.append(str(path))
+                if progress is not None:
+                    progress(f"[gold] wrote {path}")
+        for result in check_golden(golden_dir):
+            record(result)
+    return report

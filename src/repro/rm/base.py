@@ -348,15 +348,18 @@ class ResourceManager:
         if p.launch_structure is LaunchStructure.SERIAL:
             engine = StarBroadcast(concurrency=1)
             self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * n)
+            telemetry.count("rm.master.msgs", n)
             ack_wait = p.launch_ack_s * n
         elif p.launch_structure is LaunchStructure.STAR:
             engine = StarBroadcast(concurrency=p.star_concurrency)
             self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * n)
+            telemetry.count("rm.master.msgs", n)
             ack_wait = p.launch_ack_s * n / p.star_concurrency
         elif p.launch_structure is LaunchStructure.TREE:
             engine = TreeBroadcast(width=p.tree_width)
             # master only seeds the first layer; relays do the rest
             self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * min(p.tree_width, n))
+            telemetry.count("rm.master.msgs", min(p.tree_width, n))
             ack_wait = p.launch_ack_s * max(tree_depth_estimate(n, p.tree_width), 1)
         else:
             raise ConfigurationError(
@@ -390,11 +393,13 @@ class ResourceManager:
         n = self.cluster.n_nodes
         if p.heartbeat_style is HeartbeatStyle.DIRECT:
             self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * n)
+            telemetry.count("rm.master.msgs", n)
         elif p.heartbeat_style is HeartbeatStyle.TREE:
             # seed the fan-out + aggregate the responses
             self.master_acct.charge_cpu(
                 p.rpc_cpu_us / 1e6 * p.tree_width + 0.2 * p.rpc_cpu_us / 1e6 * n
             )
+            telemetry.count("rm.master.msgs", min(p.tree_width, n))
         else:
             raise ConfigurationError(
                 f"profile {p.name}: {p.heartbeat_style} needs a subclass override"

@@ -133,6 +133,7 @@ class EslurmRM(ResourceManager):
         p = self.profile
         # Master work: one RPC per satellite task + the list split.
         self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * len(parts))
+        telemetry.count("rm.master.msgs", len(parts))
         dispatch_overhead = 0.001 * len(parts)  # serialised task sends
         makespans: list[float] = []
         failed: list[int] = []
@@ -145,6 +146,7 @@ class EslurmRM(ResourceManager):
                     self.cluster.master.node_id, part, size, self.fabric
                 )
                 self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * len(part))
+                telemetry.count("rm.master.msgs", min(p.tree_width, len(part)))
                 self.master_acct.sockets.pulse(
                     min(p.tree_width, len(part)), max(res.makespan_s, 1e-3)
                 )
@@ -196,6 +198,7 @@ class EslurmRM(ResourceManager):
         n_sats = max(len(running), 1)
         # Master side: one RPC per satellite, nothing per slave.
         self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * n_sats)
+        telemetry.count("rm.master.msgs", n_sats)
         self.master_acct.sockets.pulse(n_sats, 1.0)
         # Satellite side: each relays the sweep over its share of nodes.
         n = self.cluster.n_nodes

@@ -50,6 +50,10 @@ class Simulator:
         #: chaos harness hooks invariant checks here.  Probes observe —
         #: they must not schedule events or mutate simulation state.
         self._probes: list[t.Callable[[], None]] = []
+        #: ``(time, priority, seq)`` observers of the processed event
+        #: stream; the oracle's golden-trace digest folds every entry
+        #: into a hash, so two runs are byte-comparable event by event.
+        self._trace_hooks: list[t.Callable[[float, int, int], None]] = []
 
     # -- clock -----------------------------------------------------------
     @property
@@ -97,6 +101,8 @@ class Simulator:
         self.events_processed += 1
         if not event.ok and not event.defused:
             raise t.cast(BaseException, event.value)
+        for hook in self._trace_hooks:
+            hook(when, _prio, _seq)
         for probe in self._probes:
             probe()
 
@@ -185,6 +191,19 @@ class Simulator:
     def remove_probe(self, probe: t.Callable[[], None]) -> None:
         """Detach a probe previously added with :meth:`add_probe`."""
         self._probes.remove(probe)
+
+    def add_trace_hook(self, hook: t.Callable[[float, int, int], None]) -> None:
+        """Observe every processed event as ``(time, priority, seq)``.
+
+        The sequence number is the heap tiebreaker, so the hook sees the
+        exact deterministic processing order — the seam the golden-trace
+        digest (:mod:`repro.oracle.golden`) is built on.
+        """
+        self._trace_hooks.append(hook)
+
+    def remove_trace_hook(self, hook: t.Callable[[float, int, int], None]) -> None:
+        """Detach a hook previously added with :meth:`add_trace_hook`."""
+        self._trace_hooks.remove(hook)
 
     # -- convenience ---------------------------------------------------------
     def call_at(self, when: float, func: t.Callable[[], None]) -> Event:

@@ -1,0 +1,28 @@
+"""Suite-wide pytest plumbing: the ``--slow`` opt-in.
+
+Seed-swept property tests are parameterized over a handful of seeds by
+default (the tier-1 posture) and over a much wider sweep when ``--slow``
+is passed; the extra parameters carry the ``slow`` marker and are
+skipped unless opted in.  ``make test-fast`` additionally deselects them
+outright with ``-m "not slow"``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help="run the slow seed sweeps (25+ seeds instead of 5)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow seed sweep: opt in with --slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,0 +1,26 @@
+"""Seed parameterization for the oracle property tests.
+
+Any test taking an ``oracle_seed`` argument is swept over
+:data:`FAST_SEEDS` in the default (tier-1) run and over
+:data:`SLOW_SEEDS` as well when ``--slow`` is passed — the extra
+parameters carry the ``slow`` marker, so they also disappear under
+``-m "not slow"``.
+"""
+
+import pytest
+
+#: always run — small, diverse, and historically the incident seeds
+FAST_SEEDS = (0, 1, 7, 42, 1337)
+
+#: the wide sweep — 25 extra seeds for ``--slow`` runs
+SLOW_SEEDS = tuple(s for s in range(2, 31) if s not in FAST_SEEDS)
+
+
+def pytest_generate_tests(metafunc):
+    if "oracle_seed" not in metafunc.fixturenames:
+        return
+    params = [pytest.param(s, id=f"seed{s}") for s in FAST_SEEDS]
+    params += [
+        pytest.param(s, id=f"seed{s}", marks=pytest.mark.slow) for s in SLOW_SEEDS
+    ]
+    metafunc.parametrize("oracle_seed", params)

@@ -1,0 +1,69 @@
+"""Differential relations: hold on the real tree, fail when perturbed.
+
+Every relation is exercised in both directions — the paper-shaped
+ordering must hold on the code as written, and a deliberately broken
+pairing must be *rejected*.  An oracle that cannot fail verifies
+nothing.
+"""
+
+import pytest
+
+from repro.fptree.predictor import NullPredictor
+from repro.oracle.differential import (
+    DIFFERENTIAL_RELATIONS,
+    EstimatorGateRelation,
+    FPTreeFailureBoundRelation,
+    MasterOffloadRelation,
+)
+
+
+class TestRelationsHold:
+    def test_master_offload(self, oracle_seed):
+        result = MasterOffloadRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_fptree_failure_bound(self, oracle_seed):
+        result = FPTreeFailureBoundRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_estimator_aea_gate(self, oracle_seed):
+        result = EstimatorGateRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_registry_is_the_three_relations(self):
+        assert [type(r) for r in DIFFERENTIAL_RELATIONS] == [
+            MasterOffloadRelation,
+            FPTreeFailureBoundRelation,
+            EstimatorGateRelation,
+        ]
+
+
+class _SwappedArms(MasterOffloadRelation):
+    """Runs slurm where eslurm should be — the ordering must now fail."""
+
+    def _arm(self, rm, seed):
+        return super()._arm("eslurm" if rm == "slurm" else "slurm", seed)
+
+
+class TestPerturbationsAreCaught:
+    def test_swapped_arms_fail_master_offload(self):
+        result = _SwappedArms().run(seed=0)
+        assert not result.ok
+        assert "!<" in result.detail
+
+    def test_null_predictor_fails_fptree_bound(self, monkeypatch):
+        # With no prediction the "FP" tree degenerates to the plain tree,
+        # so the strict ordering against the plain tree must be rejected.
+        monkeypatch.setattr(
+            "repro.oracle.differential.OraclePredictor", lambda cluster: NullPredictor()
+        )
+        result = FPTreeFailureBoundRelation().run(seed=0)
+        assert not result.ok
+
+    def test_impossible_tolerance_fails_estimator_gate(self):
+        # Demanding the gated error be ~0x of the user error is unsatisfiable;
+        # the relation must report the breach rather than clamp it away.
+        relation = EstimatorGateRelation()
+        relation.TOLERANCE = 1e-6
+        result = relation.run(seed=0)
+        assert not result.ok

@@ -1,0 +1,142 @@
+"""Metamorphic relations and the replay kernel underneath them."""
+
+import pytest
+
+from repro.oracle.metamorphic import (
+    METAMORPHIC_RELATIONS,
+    CapacityMonotonicityRelation,
+    JitterStabilityRelation,
+    JobSpec,
+    RelabelInvarianceRelation,
+    RuntimeScalingRelation,
+    SeedSensitivityRelation,
+    replay,
+    specs_from_trace,
+)
+from repro.sched.fcfs import FcfsScheduler
+from repro.workload.synthetic import WorkloadConfig, generate_trace
+
+
+def _spec(job_id, n_nodes=1, runtime=10.0, submit=0.0, estimate=20.0):
+    return JobSpec(
+        job_id=job_id,
+        name=f"job{job_id}",
+        user="u",
+        n_nodes=n_nodes,
+        runtime_s=runtime,
+        user_estimate_s=estimate,
+        submit_time=submit,
+    )
+
+
+class TestReplayKernel:
+    def test_serial_machine_runs_jobs_back_to_back(self):
+        specs = [_spec(1, submit=0.0), _spec(2, submit=1.0)]
+        result = replay(specs, n_nodes=1)
+        assert result.spans[1] == (0.0, 10.0)
+        assert result.spans[2] == (10.0, 20.0)
+        assert result.makespan == 20.0
+
+    def test_parallel_machine_runs_jobs_concurrently(self):
+        result = replay([_spec(1), _spec(2)], n_nodes=2)
+        assert result.spans[1][0] == result.spans[2][0] == 0.0
+        assert result.makespan == 10.0
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ValueError, match="wants 4"):
+            replay([_spec(1, n_nodes=4)], n_nodes=2)
+
+    def test_wall_limit_truncates_runtime(self):
+        result = replay([_spec(1, runtime=100.0, estimate=10.0)], n_nodes=1)
+        assert result.spans[1] == (0.0, 10.0)
+
+    def test_replay_uses_production_scheduler_objects(self):
+        specs = specs_from_trace(
+            generate_trace(WorkloadConfig(max_nodes=8, name="t"), 30, seed=5)
+        )
+        backfill = replay(specs, n_nodes=16)
+        fcfs = replay(specs, 16, FcfsScheduler())
+        assert len(backfill.decisions) == len(fcfs.decisions) == len(specs)
+        # FCFS starts strictly in arrival order; the trace arrives sorted.
+        assert fcfs.start_order() == [s.job_id for s in specs]
+
+
+class TestRelationsHold:
+    def test_relabel_invariance(self, oracle_seed):
+        result = RelabelInvarianceRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_jitter_stability(self, oracle_seed):
+        result = JitterStabilityRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_runtime_scaling(self, oracle_seed):
+        result = RuntimeScalingRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_capacity_monotonicity(self, oracle_seed):
+        result = CapacityMonotonicityRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_seed_sensitivity(self, oracle_seed):
+        result = SeedSensitivityRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_registry_has_all_five(self):
+        assert {type(r) for r in METAMORPHIC_RELATIONS} == {
+            RelabelInvarianceRelation,
+            JitterStabilityRelation,
+            RuntimeScalingRelation,
+            CapacityMonotonicityRelation,
+            SeedSensitivityRelation,
+        }
+
+
+class TestPerturbationsAreCaught:
+    def test_id_dependent_scheduler_fails_relabeling(self, monkeypatch):
+        # Simulate a scheduler whose decisions depend on the job-ID range:
+        # the relabeled replay sees a one-node-smaller machine.
+        import repro.oracle.metamorphic as meta
+
+        real = meta.replay
+
+        def biased(specs, n_nodes, scheduler=None):
+            if any(s.job_id >= meta.RELABEL_OFFSET for s in specs):
+                n_nodes -= 1
+            return real(specs, n_nodes, scheduler)
+
+        monkeypatch.setattr(meta, "replay", biased)
+        assert not RelabelInvarianceRelation().run(seed=0).ok
+
+    def test_lost_job_fails_scaling(self, monkeypatch):
+        # The transformed replay silently drops a job — the schedule shape
+        # no longer matches and the relation must reject it.
+        import repro.oracle.metamorphic as meta
+
+        real = meta.replay
+        calls = {"n": 0}
+
+        def lossy(specs, n_nodes, scheduler=None):
+            calls["n"] += 1
+            return real(specs[:-1] if calls["n"] == 2 else specs, n_nodes, scheduler)
+
+        monkeypatch.setattr(meta, "replay", lossy)
+        assert not RuntimeScalingRelation().run(seed=0).ok
+
+    def test_changed_start_order_fails_jitter_stability(self, monkeypatch):
+        # The jittered replay reverses its decision log — stable order is
+        # exactly what the relation asserts, so it must reject this.
+        import repro.oracle.metamorphic as meta
+
+        real = meta.replay
+        calls = {"n": 0}
+
+        def reordered(specs, n_nodes, scheduler=None):
+            calls["n"] += 1
+            result = real(specs, n_nodes, scheduler)
+            if calls["n"] == 2:
+                result.decisions = list(reversed(result.decisions))
+            return result
+
+        monkeypatch.setattr(meta, "replay", reordered)
+        assert not JitterStabilityRelation().run(seed=0).ok

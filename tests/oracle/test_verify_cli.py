@@ -1,0 +1,138 @@
+"""``repro verify`` / ``repro bench check``: wiring and exit codes.
+
+Every checking verb must exit 0 on a healthy tree and nonzero the
+moment any relation fails — these tests drive the real CLI entry point
+in-process.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.oracle.golden import DEFAULT_GOLDEN_DIR, dump_canonical, golden_path
+from repro.oracle.verify import LAYERS, VerifyReport, run_verify
+from repro.oracle.relations import RelationResult
+
+
+def _ok(name="r", layer="differential"):
+    return RelationResult(name, True, "fine", layer=layer)
+
+
+def _fail(name="r", layer="differential"):
+    return RelationResult(name, False, "broke", layer=layer)
+
+
+class TestVerifyReport:
+    def test_ok_and_counts(self):
+        report = VerifyReport(seed=0, results=[_ok(), _fail(), _fail()])
+        assert not report.ok and report.n_failed == 2
+        assert "FAIL" in report.to_text()
+        assert VerifyReport(seed=0, results=[_ok()]).ok
+
+    def test_payload_shape(self):
+        payload = VerifyReport(seed=5, results=[_ok("x")]).to_payload()
+        assert payload["seed"] == 5 and payload["ok"] is True
+        assert payload["results"][0]["relation"] == "x"
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError, match="unknown verify layers"):
+            run_verify(layers=("differential", "nope"))
+
+    def test_layer_selection_runs_only_that_layer(self):
+        report = run_verify(seed=0, layers=("metamorphic",))
+        assert report.results and {r.layer for r in report.results} == {"metamorphic"}
+
+
+class TestVerifyCli:
+    def test_metamorphic_layer_exits_zero(self, capsys):
+        assert main(["verify", "--layer", "metamorphic", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "verify: OK" in out and "relabel-invariance" in out
+
+    def test_bare_flags_imply_run(self, capsys):
+        # `repro verify --seed 42 --layer metamorphic` — no subcommand word.
+        assert main(["verify", "--seed", "42", "--layer", "metamorphic"]) == 0
+        assert "verify: OK" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert main(["verify", "--layer", "metamorphic", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["n_failed"] == 0
+
+    def test_list_enumerates_relations_and_scenarios(self, capsys):
+        assert main(["verify", "list"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("master-offload", "capacity-monotonicity", "golden/eslurm-base"):
+            assert needle in out
+
+    def test_golden_layer_against_frozen_tree(self, capsys):
+        assert main(["verify", "--layer", "golden"]) == 0
+        assert "verify: OK" in capsys.readouterr().out
+
+
+class TestVerifyExitCodes:
+    @pytest.fixture()
+    def tampered_golden(self, tmp_path):
+        dst = tmp_path / "golden"
+        shutil.copytree(DEFAULT_GOLDEN_DIR, dst)
+        path = golden_path(dst, "eslurm-base")
+        payload = json.loads(path.read_text())
+        payload["trace"]["digest"] = "sha256:" + "f" * 64
+        path.write_text(dump_canonical(payload))
+        return dst
+
+    def test_tampered_golden_exits_nonzero(self, tampered_golden, capsys):
+        rc = main(["verify", "--layer", "golden", "--golden-dir", str(tampered_golden)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_update_golden_regenerates_and_passes(self, tampered_golden, capsys):
+        rc = main(
+            ["verify", "--layer", "golden", "--golden-dir", str(tampered_golden), "--update-golden"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[gold] wrote" in out and "verify: OK" in out
+
+    def test_empty_golden_dir_exits_nonzero(self, tmp_path, capsys):
+        rc = main(["verify", "--layer", "golden", "--golden-dir", str(tmp_path / "empty")])
+        assert rc == 1
+        assert "--update-golden" in capsys.readouterr().out
+
+
+class TestBenchCheckCli:
+    def _payload(self, rm, cpu, tmp_path):
+        # minimal schema-valid bench payload
+        payload = {
+            "schema": "repro-bench/1",
+            "name": f"{rm}-1024",
+            "seed": 0,
+            "scenario": {
+                "rm": rm, "n_nodes": 1024, "n_satellites": 2,
+                "failures": False, "n_jobs": 10, "horizon_s": 100.0,
+            },
+            "sim_time_s": 100.0,
+            "events": 50,
+            "events_per_sim_s": 0.5,
+            "peak_heap_depth": 4,
+            "counters": {"rm.master.msgs": 10.0 if rm == "eslurm" else 100.0},
+            "gauges": {},
+            "histograms": {},
+            "master": {"cpu_time_min": cpu, "sockets_peak": 5.0 if rm == "eslurm" else 50.0},
+            "schedule": {"n_jobs": 10},
+        }
+        path = tmp_path / f"BENCH_{rm}.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_healthy_pair_exits_zero(self, tmp_path, capsys):
+        files = [self._payload("slurm", 8.0, tmp_path), self._payload("eslurm", 2.0, tmp_path)]
+        assert main(["bench", "check", *files]) == 0
+        assert "bench check: OK" in capsys.readouterr().out
+
+    def test_violated_relation_exits_nonzero(self, tmp_path, capsys):
+        files = [self._payload("slurm", 2.0, tmp_path), self._payload("eslurm", 8.0, tmp_path)]
+        assert main(["bench", "check", *files]) == 1
+        assert "bench check: FAIL" in capsys.readouterr().out
