@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke verify-smoke lint-imports
+.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale verify-smoke lint-imports
 
 ## Full tier-1 suite (the CI gate).
 test:
@@ -46,6 +46,13 @@ bench-smoke:
 	assert a == b, 'bench payload is not seed-deterministic'; \
 	print('deterministic-seed check: OK')"
 	rm -rf .bench-smoke
+
+## Paper-scale perf smoke: re-run the 1K-node tier (10K jobs, failures
+## on) and judge it against the checked-in baseline — deterministic
+## anchors must match exactly, wall time may not regress beyond +25%.
+## The 4K/16K tiers run via ``repro bench compare`` with no --names.
+bench-paper-scale:
+	$(PYTHON) -m repro.cli bench compare benchmarks/BENCH_paper_scale.json --names paper-1024
 
 ## Smoke: every oracle layer must hold on the current tree, and the
 ## golden digests must be reproducible byte-for-byte.

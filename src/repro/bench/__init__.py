@@ -6,26 +6,55 @@
 ``repro bench report`` renders the files as a text or markdown table.
 """
 
+from repro.bench.paper_scale import (
+    BASELINE_PATH,
+    DEFAULT_TOLERANCE,
+    TierComparison,
+    build_baseline,
+    compare_baseline,
+    dump_baseline,
+    load_baseline,
+)
 from repro.bench.report import render_markdown, render_text
 from repro.bench.runner import (
     BenchResult,
     load_bench_file,
+    profile_bench,
     run_bench,
     run_matrix,
     write_bench_file,
 )
-from repro.bench.scenarios import SCENARIOS, SMOKE_SCENARIO, BenchScenario, get_scenario
+from repro.bench.scenarios import (
+    PAPER_FULL_SCENARIO,
+    PAPER_SCALE,
+    PAPER_SMOKE_SCENARIO,
+    SCENARIOS,
+    SMOKE_SCENARIO,
+    BenchScenario,
+    get_scenario,
+)
 from repro.bench.schema import SCHEMA, is_deterministic_metric, validate_payload
 
 __all__ = [
+    "BASELINE_PATH",
+    "DEFAULT_TOLERANCE",
+    "PAPER_FULL_SCENARIO",
+    "PAPER_SCALE",
+    "PAPER_SMOKE_SCENARIO",
     "SCENARIOS",
     "SMOKE_SCENARIO",
     "SCHEMA",
     "BenchResult",
     "BenchScenario",
+    "TierComparison",
+    "build_baseline",
+    "compare_baseline",
+    "dump_baseline",
     "get_scenario",
     "is_deterministic_metric",
+    "load_baseline",
     "load_bench_file",
+    "profile_bench",
     "render_markdown",
     "render_text",
     "run_bench",

@@ -1,0 +1,169 @@
+"""The paper-scale wall-time baseline (``benchmarks/BENCH_paper_scale.json``).
+
+The matrix bench files freeze *simulation-deterministic* payloads; wall
+time is deliberately excluded there because it breaks byte-identity.
+This module owns the complementary artifact: one checked-in file
+recording, per paper-scale tier (1K / 4K / 16K nodes, 10K jobs), both
+the deterministic anchors (event counts at the recording seed) and the
+recorded host wall time.  ``repro bench compare`` re-runs tiers fresh
+and judges them against it:
+
+* deterministic anchors must match **exactly** at the same seed — a
+  mismatch means behaviour changed, not performance;
+* wall time may not regress beyond the tolerance (default +25 %);
+  being *faster* than baseline always passes.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as t
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.runner import BenchResult, run_bench
+from repro.bench.scenarios import PAPER_SCALE
+from repro.errors import ConfigurationError
+
+BASELINE_SCHEMA = "repro-bench-paper-scale/1"
+
+#: repo-relative location of the checked-in baseline
+BASELINE_PATH = "benchmarks/BENCH_paper_scale.json"
+
+#: wall-time regression tolerance the CI smoke uses
+DEFAULT_TOLERANCE = 0.25
+
+
+def build_baseline(results: t.Sequence[BenchResult]) -> dict[str, t.Any]:
+    """Baseline payload from freshly-run tier results."""
+    tiers: dict[str, t.Any] = {}
+    for result in results:
+        spec = result.scenario
+        tiers[spec.name] = {
+            "seed": result.seed,
+            "n_nodes": spec.n_nodes,
+            "n_jobs": spec.n_jobs,
+            "horizon_s": spec.horizon_s,
+            "events": result.payload["events"],
+            "events_per_sim_s": result.payload["events_per_sim_s"],
+            "peak_heap_depth": result.payload["peak_heap_depth"],
+            "host_wall_s": round(result.host_wall_s, 3),
+        }
+    return {"schema": BASELINE_SCHEMA, "tiers": tiers}
+
+
+def dump_baseline(baseline: dict[str, t.Any]) -> str:
+    return json.dumps(baseline, sort_keys=True, indent=2) + "\n"
+
+
+def load_baseline(path: str | Path) -> dict[str, t.Any]:
+    """Read + sanity-check a baseline file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ConfigurationError(
+            f"{path}: expected schema {BASELINE_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    tiers = payload.get("tiers")
+    if not isinstance(tiers, dict) or not tiers:
+        raise ConfigurationError(f"{path}: baseline has no tiers")
+    for name, tier in tiers.items():
+        for key in ("seed", "events", "host_wall_s"):
+            if key not in tier:
+                raise ConfigurationError(f"{path}: tier {name!r} missing {key!r}")
+    return payload
+
+
+@dataclass
+class TierComparison:
+    """Verdict for one tier of a baseline comparison."""
+
+    name: str
+    ok: bool
+    baseline_wall_s: float
+    fresh_wall_s: float
+    notes: list[str] = field(default_factory=list)
+
+    def line(self) -> str:
+        status = "ok  " if self.ok else "FAIL"
+        ratio = (
+            self.fresh_wall_s / self.baseline_wall_s if self.baseline_wall_s else float("inf")
+        )
+        detail = "; ".join(self.notes) if self.notes else "within tolerance"
+        return (
+            f"[{status}] {self.name:<14} wall {self.fresh_wall_s:7.2f}s "
+            f"vs baseline {self.baseline_wall_s:7.2f}s ({ratio:5.2f}x) — {detail}"
+        )
+
+
+def compare_tier(
+    tier: dict[str, t.Any],
+    result: BenchResult,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> TierComparison:
+    """Judge one fresh result against its baseline tier."""
+    notes: list[str] = []
+    ok = True
+    if result.seed == tier["seed"]:
+        # Same seed: the deterministic anchors must match bit-for-bit.
+        for key in ("events", "peak_heap_depth"):
+            if key in tier and result.payload[key] != tier[key]:
+                ok = False
+                notes.append(
+                    f"{key} changed: baseline {tier[key]}, fresh {result.payload[key]} "
+                    "(behaviour drift, re-record the baseline deliberately)"
+                )
+    else:
+        notes.append(f"seed differs (baseline {tier['seed']}, fresh {result.seed}): "
+                     "determinism anchors skipped")
+    baseline_wall = float(tier["host_wall_s"])
+    limit = baseline_wall * (1.0 + tolerance)
+    if result.host_wall_s > limit:
+        ok = False
+        notes.append(
+            f"wall regression: {result.host_wall_s:.2f}s > {limit:.2f}s "
+            f"(baseline {baseline_wall:.2f}s +{tolerance:.0%})"
+        )
+    elif result.host_wall_s < baseline_wall * (1.0 - tolerance):
+        notes.append("faster than baseline beyond tolerance — consider re-recording")
+    return TierComparison(
+        name=result.scenario.name,
+        ok=ok,
+        baseline_wall_s=baseline_wall,
+        fresh_wall_s=result.host_wall_s,
+        notes=notes,
+    )
+
+
+def compare_baseline(
+    baseline: dict[str, t.Any],
+    names: t.Sequence[str] | None = None,
+    seed: int | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    progress: t.Callable[[str], None] | None = None,
+) -> list[TierComparison]:
+    """Re-run tiers fresh and compare each against the baseline.
+
+    Args:
+        baseline: payload from :func:`load_baseline`.
+        names: tier subset (default: every tier in the file).
+        seed: override the per-tier recording seed (skips exact anchors).
+        tolerance: wall-time regression allowance.
+        progress: per-tier status callback.
+    """
+    tiers = baseline["tiers"]
+    chosen = list(tiers) if names is None else list(names)
+    comparisons = []
+    for name in chosen:
+        tier = tiers.get(name)
+        if tier is None:
+            raise ConfigurationError(
+                f"tier {name!r} not in baseline; choose from {sorted(tiers)}"
+            )
+        if name not in PAPER_SCALE:
+            raise ConfigurationError(f"tier {name!r} is not a paper-scale scenario")
+        result = run_bench(name, seed=tier["seed"] if seed is None else seed)
+        comparison = compare_tier(tier, result, tolerance=tolerance)
+        if progress is not None:
+            progress(comparison.line())
+        comparisons.append(comparison)
+    return comparisons

@@ -97,10 +97,41 @@ SCENARIOS: dict[str, BenchScenario] = _matrix()
 SMOKE_SCENARIO = "slurm-1024"
 
 
+def _paper_scale() -> dict[str, BenchScenario]:
+    tiers = {}
+    for n_nodes in (1024, 4096, 16_384):
+        name = f"paper-{n_nodes}"
+        tiers[name] = BenchScenario(
+            name=name,
+            rm="eslurm",
+            n_nodes=n_nodes,
+            n_satellites=max(2, n_nodes // 2048),
+            failures=True,
+            n_jobs=10_000,
+            horizon_s=DAY,
+        )
+    return tiers
+
+
+#: The paper-scale tiers: ESLURM with failure injection driving 10K jobs
+#: over one simulated day at the Section VII machine sizes.  Unlike the
+#: matrix above these are sized like the paper's own workload, so they
+#: anchor *wall-time* regressions (``repro bench compare``), not just
+#: event-count determinism.
+PAPER_SCALE: dict[str, BenchScenario] = _paper_scale()
+
+#: the tier CI's paper-scale smoke compares against the checked-in baseline
+PAPER_SMOKE_SCENARIO = "paper-1024"
+
+#: the tier ``repro bench run --profile`` defaults to (full machine)
+PAPER_FULL_SCENARIO = "paper-16384"
+
+
 def get_scenario(name: str) -> BenchScenario:
-    try:
-        return SCENARIOS[name]
-    except KeyError:
+    scenario = SCENARIOS.get(name) or PAPER_SCALE.get(name)
+    if scenario is None:
         raise ConfigurationError(
-            f"unknown bench scenario {name!r}; choose from {sorted(SCENARIOS)}"
-        ) from None
+            f"unknown bench scenario {name!r}; choose from "
+            f"{sorted([*SCENARIOS, *PAPER_SCALE])}"
+        )
+    return scenario

@@ -7,10 +7,13 @@ Installed as ``repro-eslurm`` (alias ``repro``)::
     repro fig7 --quick
     repro all --quick
 
-    repro bench list                # perf-benchmark matrix
+    repro bench list                # perf-benchmark matrix + paper tiers
     repro bench run --all --seed 0
+    repro bench --profile           # cProfile the 16K-node paper scenario
     repro bench report BENCH_*.json --markdown
     repro bench validate BENCH_*.json
+    repro bench baseline            # record benchmarks/BENCH_paper_scale.json
+    repro bench compare             # fresh tiers vs the checked-in baseline
 
     repro chaos list                # invariant-checked failure campaigns
     repro chaos run failure-storm --seed 7 --json
@@ -90,26 +93,49 @@ def _emit(text: str, out: str | None) -> None:
 # repro bench
 # ---------------------------------------------------------------------------
 def _bench_list(args: argparse.Namespace) -> int:
-    from repro.bench import SCENARIOS
+    from repro.bench import PAPER_SCALE, SCENARIOS
 
-    for scenario in SCENARIOS.values():
-        flags = "failures" if scenario.failures else "-"
-        print(
-            f"{scenario.name:<24} rm={scenario.rm:<7} nodes={scenario.n_nodes:<6} "
-            f"satellites={scenario.n_satellites:<3} {flags}"
-        )
+    for group in (SCENARIOS, PAPER_SCALE):
+        for scenario in group.values():
+            flags = "failures" if scenario.failures else "-"
+            print(
+                f"{scenario.name:<24} rm={scenario.rm:<7} nodes={scenario.n_nodes:<6} "
+                f"satellites={scenario.n_satellites:<3} jobs={scenario.n_jobs:<6} {flags}"
+            )
     return 0
 
 
 def _bench_run_configure(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("names", nargs="*", help="scenario names (see 'repro bench list')")
     parser.add_argument("--all", action="store_true", help="run the whole matrix")
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions "
+        "(defaults to the 16K-node paper-scale scenario; skips file output)",
+    )
     add_common_flags(parser, out_help="directory for BENCH_*.json files (default: cwd)")
 
 
 def _bench_run(args: argparse.Namespace) -> int:
-    from repro.bench import run_matrix
+    from repro.bench import PAPER_FULL_SCENARIO, profile_bench, run_matrix
 
+    if args.profile:
+        if args.all:
+            args._parser.error("--profile runs named scenarios, not the whole matrix")
+        names = args.names or [PAPER_FULL_SCENARIO]
+        for name in names:
+            try:
+                result, report = profile_bench(name, seed=args.seed)
+            except Exception as exc:
+                args._parser.error(str(exc))
+            print(
+                f"{name}: {result.payload['events']} events, "
+                f"host {result.host_wall_s:.2f}s under the profiler "
+                "(several times slower than a plain run)"
+            )
+            print(report)
+        return 0
     if args.all == bool(args.names):
         args._parser.error("pass scenario names or --all (not both)")
     names = None if args.all else args.names
@@ -126,6 +152,109 @@ def _bench_run(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps([r.payload for r in results], sort_keys=True, indent=2))
     return 0
+
+
+def _bench_baseline_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="paper-scale tiers to record (default: all three)",
+    )
+    add_common_flags(
+        parser, out_help="baseline file path (default: benchmarks/BENCH_paper_scale.json)"
+    )
+
+
+def _bench_baseline(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import (
+        BASELINE_PATH,
+        PAPER_SCALE,
+        build_baseline,
+        dump_baseline,
+        run_bench,
+    )
+
+    names = args.names or list(PAPER_SCALE)
+    results = []
+    for name in names:
+        if name not in PAPER_SCALE:
+            args._parser.error(f"{name!r} is not a paper-scale tier ({sorted(PAPER_SCALE)})")
+        result = run_bench(name, seed=args.seed)
+        print(
+            f"{name:<14} {result.payload['events']:>9} events  "
+            f"host {result.host_wall_s:7.2f}s"
+        )
+        results.append(result)
+    baseline = build_baseline(results)
+    text = dump_baseline(baseline)
+    if args.json:
+        print(text, end="")
+    path = Path(args.out if args.out is not None else BASELINE_PATH)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    print(f"baseline written -> {path}")
+    return 0
+
+
+def _bench_compare_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="baseline file (default: benchmarks/BENCH_paper_scale.json)",
+    )
+    parser.add_argument(
+        "--names",
+        action="append",
+        default=None,
+        help="tier to compare (repeatable; default: every tier in the file)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="wall-time regression allowance as a fraction (default 0.25)",
+    )
+    add_common_flags(parser)
+
+
+def _bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import BASELINE_PATH, DEFAULT_TOLERANCE, compare_baseline, load_baseline
+
+    path = args.baseline if args.baseline is not None else BASELINE_PATH
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    try:
+        baseline = load_baseline(path)
+        comparisons = compare_baseline(
+            baseline,
+            names=args.names,
+            tolerance=tolerance,
+            progress=None if args.json else print,
+        )
+    except Exception as exc:
+        args._parser.error(str(exc))
+    failed = sum(1 for c in comparisons if not c.ok)
+    if args.json:
+        payload = [
+            {
+                "name": c.name,
+                "ok": c.ok,
+                "baseline_wall_s": c.baseline_wall_s,
+                "fresh_wall_s": c.fresh_wall_s,
+                "notes": c.notes,
+            }
+            for c in comparisons
+        ]
+        _emit(json.dumps(payload, sort_keys=True, indent=2), args.out)
+    else:
+        print(
+            f"bench compare: {'FAIL' if failed else 'OK'} — "
+            f"{len(comparisons) - failed}/{len(comparisons)} tiers within "
+            f"±{tolerance:.0%} of {path}"
+        )
+    return 1 if failed else 0
 
 
 def _bench_files_configure(parser: argparse.ArgumentParser) -> None:
@@ -193,6 +322,14 @@ BENCH_COMMANDS = (
     Subcommand(
         "check", "judge bench files against the paper-shaped relations",
         _bench_files_configure, _bench_check,
+    ),
+    Subcommand(
+        "baseline", "record the paper-scale wall-time baseline file",
+        _bench_baseline_configure, _bench_baseline,
+    ),
+    Subcommand(
+        "compare", "re-run paper-scale tiers against the checked-in baseline",
+        _bench_compare_configure, _bench_compare,
     ),
 )
 
@@ -330,7 +467,9 @@ FAMILIES: dict[str, tuple[str, tuple[Subcommand, ...]]] = {
 }
 
 #: families where a bare ``repro <family> [flags]`` implies this verb
-DEFAULT_VERBS: dict[str, str] = {"verify": "run"}
+#: (``repro bench --profile`` is the profiling entry point the perf
+#: workflow documents)
+DEFAULT_VERBS: dict[str, str] = {"verify": "run", "bench": "run"}
 
 
 # ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@ monitoring network (BMU/CMU/SMU) follows the same hierarchy.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -47,11 +48,13 @@ class Topology:
         if min(self.nodes_per_board, self.boards_per_chassis, self.chassis_per_rack) < 1:
             raise ConfigurationError("topology dimensions must be positive")
 
-    @property
+    # cached_property works on a frozen dataclass (no __slots__): the
+    # memo bypasses __setattr__ and lands in the instance __dict__.
+    @functools.cached_property
     def nodes_per_chassis(self) -> int:
         return self.nodes_per_board * self.boards_per_chassis
 
-    @property
+    @functools.cached_property
     def nodes_per_rack(self) -> int:
         return self.nodes_per_chassis * self.chassis_per_rack
 
@@ -65,16 +68,21 @@ class Topology:
         return rack, chassis, board
 
     def hop_level(self, a: int, b: int) -> HopLevel:
-        """Distance class between node ids ``a`` and ``b``."""
+        """Distance class between node ids ``a`` and ``b``.
+
+        Divide-and-compare without building coordinate tuples — this
+        sits on the per-transfer hot path of the latency model.
+        """
         if a == b:
             return HopLevel.SAME_NODE
-        ra, ca, ba = self.coordinates(a)
-        rb, cb, bb = self.coordinates(b)
-        if ba == bb:
+        npb = self.nodes_per_board
+        if a // npb == b // npb:
             return HopLevel.SAME_BOARD
-        if ca == cb:
+        npc = self.nodes_per_chassis
+        if a // npc == b // npc:
             return HopLevel.SAME_CHASSIS
-        if ra == rb:
+        npr = self.nodes_per_rack
+        if a // npr == b // npr:
             return HopLevel.SAME_RACK
         return HopLevel.CROSS_RACK
 

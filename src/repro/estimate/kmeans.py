@@ -78,8 +78,13 @@ class KMeans:
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[0] == 0:
             raise EstimationError("fit needs a non-empty 2-D array")
-        n = X.shape[0]
-        k = min(self.n_clusters, n)  # cannot have more clusters than points
+        # Clamp K to the number of *distinct* rows, not just the number of
+        # rows: with duplicates (common for short runtime-history windows
+        # where many jobs share a wall time) K > n_distinct leaves clusters
+        # that can never own a point, and the empty-cluster re-seed loop
+        # thrashes without converging.
+        n_distinct = np.unique(X, axis=0).shape[0]
+        k = min(self.n_clusters, n_distinct)
         self.n_clusters = k
         centers = self._init_centers(X)
         for it in range(self.max_iter):
@@ -130,7 +135,11 @@ def elbow_k(
     n = X.shape[0]
     if n == 0:
         raise EstimationError("elbow_k needs data")
-    k_max = min(k_max, n)
+    # Same distinct-sample clamp as KMeans.fit: sweeping k past the number
+    # of distinct rows overflows K relative to the data (every extra k
+    # repeats the same zero-improvement inertia and can crown a bogus
+    # elbow at the duplicated tail).
+    k_max = min(k_max, np.unique(X, axis=0).shape[0])
     rng = rng or np.random.default_rng(0)
     ks = np.arange(1, k_max + 1)
     inertias = np.array([KMeans(int(k), rng=rng).fit(X).inertia_ for k in ks])

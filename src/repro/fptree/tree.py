@@ -130,6 +130,15 @@ def build_tree(nodelist: t.Sequence[int], width: int) -> TreeNode:
     return rec(0, len(nodelist))
 
 
+#: (n, width) -> leaf positions.  Trees are pure functions of list
+#: length and width, and the same handful of shapes recurs thousands of
+#: times (heartbeat shares, common job sizes), so this is the cheapest
+#: memo in the whole broadcast path.  Bypassed while a VisitCounter is
+#: installed so cost-claim tests still measure the real recursion.
+_leaf_memo: dict[tuple[int, int], tuple[int, ...]] = {}
+_LEAF_MEMO_MAX = 512
+
+
 def leaf_positions(n: int, width: int) -> list[int]:
     """Indices of ``nodelist`` positions that become leaves of the tree.
 
@@ -139,6 +148,10 @@ def leaf_positions(n: int, width: int) -> list[int]:
     _check_width(width)
     if n < 0:
         raise ConfigurationError("n cannot be negative")
+    if _counter is None:
+        cached = _leaf_memo.get((n, width))
+        if cached is not None:
+            return list(cached)
     leaves: list[int] = []
 
     def rec(lo: int, hi: int) -> None:
@@ -151,6 +164,10 @@ def leaf_positions(n: int, width: int) -> list[int]:
 
     if n:
         rec(0, n)
+    if _counter is None:
+        if len(_leaf_memo) >= _LEAF_MEMO_MAX:
+            _leaf_memo.clear()
+        _leaf_memo[(n, width)] = tuple(leaves)
     return leaves
 
 

@@ -93,6 +93,9 @@ class NetworkFabric:
         self.cluster = cluster
         self.config = config or FabricConfig()
         self._rng = sim.rng.stream("fabric")
+        #: (cluster.version, frozenset of unresponsive ids) — see
+        #: :meth:`unreachable_ids`
+        self._unreachable_cache: tuple[int, frozenset[int]] | None = None
 
     # -- scalar API --------------------------------------------------------
     def transfer_delay(self, src: int, dst: int, size_bytes: int) -> float:
@@ -114,6 +117,24 @@ class NetworkFabric:
     def is_reachable(self, node_id: int) -> bool:
         """Whether the target currently answers connections."""
         return self.cluster.is_responsive(node_id)
+
+    def unreachable_ids(self) -> frozenset[int]:
+        """Ids of currently-unresponsive nodes (compute, master, satellites).
+
+        Cached against ``cluster.version`` — the documented contract is
+        that every liveness change bumps it, so the O(n) sweep over the
+        node table is paid once per failure/recovery event instead of
+        once per broadcast.  Code flipping :class:`Node` state directly
+        (bypassing the cluster/injector helpers) must call
+        ``cluster.bump_version()`` itself.
+        """
+        ver = self.cluster.version
+        cached = self._unreachable_cache
+        if cached is not None and cached[0] == ver:
+            return cached[1]
+        ids = frozenset(n.node_id for n in self.cluster.all_nodes() if not n.responsive)
+        self._unreachable_cache = (ver, ids)
+        return ids
 
     def attempt_delay(self, src: int, dst: int, size_bytes: int) -> tuple[float, bool]:
         """``(delay, delivered)`` for one attempt against live state."""
@@ -156,8 +177,55 @@ class NetworkFabric:
             delays = delays * (1.0 + cfg.jitter_frac * (2.0 * self._rng.random(delays.shape) - 1.0))
         return delays
 
+    def transfer_delays_pairwise(
+        self, srcs: np.ndarray, dsts: np.ndarray, size_bytes: int
+    ) -> np.ndarray:
+        """Vectorised :meth:`transfer_delay` for per-pair (src, dst) links.
+
+        The arithmetic mirrors the scalar path operation-for-operation
+        (``overhead + hop_latency + size/bandwidth``, left to right), so
+        with jitter disabled the results are bit-identical to calling
+        :meth:`transfer_delay` per pair — which is what lets the tree
+        engine's vectorised walk reproduce the recursive walk exactly.
+        With jitter enabled the draw order differs from per-pair scalar
+        calls; callers needing scalar-identical jitter must stay scalar.
+        """
+        cfg = self.config
+        topo = self.cluster.topology
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count("net.messages", len(dsts))
+            tel.count("net.bytes", size_bytes * len(dsts))
+        n = self.cluster.n_nodes
+        src_c = np.where(srcs < n, np.minimum(srcs, n - 1), 0)
+        dst_c = np.where(dsts < n, np.minimum(dsts, n - 1), 0)
+        hop = np.full(dsts.shape, int(HopLevel.CROSS_RACK), dtype=np.int64)
+        hop[dst_c // topo.nodes_per_rack == src_c // topo.nodes_per_rack] = int(HopLevel.SAME_RACK)
+        hop[dst_c // topo.nodes_per_chassis == src_c // topo.nodes_per_chassis] = int(
+            HopLevel.SAME_CHASSIS
+        )
+        hop[dst_c // topo.nodes_per_board == src_c // topo.nodes_per_board] = int(
+            HopLevel.SAME_BOARD
+        )
+        hop[dst_c == src_c] = int(HopLevel.SAME_NODE)
+        lat = np.asarray(cfg.hop_latency_s)[hop]
+        delays = cfg.send_overhead_s + lat + size_bytes / cfg.bytes_per_second
+        if cfg.jitter_frac:
+            delays = delays * (1.0 + cfg.jitter_frac * (2.0 * self._rng.random(delays.shape) - 1.0))
+        return delays
+
     def reachability(self, node_ids: t.Sequence[int]) -> np.ndarray:
         """Boolean liveness mask over ``node_ids``."""
+        if len(node_ids) >= 64:
+            # machine-scale sweeps: one set lookup per *down* node
+            # instead of one attribute walk per target
+            down = self.unreachable_ids()
+            if not down:
+                return np.ones(len(node_ids), dtype=bool)
+            ids = np.asarray(node_ids, dtype=np.int64)
+            return ~np.isin(ids, np.fromiter(down, dtype=np.int64, count=len(down)))
         return np.fromiter(
             (self.cluster.is_responsive(nid) for nid in node_ids),
             dtype=bool,

@@ -138,15 +138,198 @@ class SharedMemoryBroadcast(BroadcastStructure):
         return result
 
 
+class _TreeWalk:
+    """Shared mutable state for one tree-broadcast evaluation.
+
+    Holds the recursive (scalar) walk the engine always used; the
+    vectorised fast path of :class:`TreeBroadcast` delegates the rare
+    dead subtrees back to these exact methods so both paths produce
+    bit-identical results.
+    """
+
+    __slots__ = (
+        "width",
+        "nodelist",
+        "size_bytes",
+        "fabric",
+        "overhead",
+        "penalty",
+        "tel",
+        "arrivals",
+        "makespan",
+        "timeouts",
+        "failed",
+    )
+
+    def __init__(
+        self,
+        width: int,
+        nodelist: list[int],
+        size_bytes: int,
+        fabric: "NetworkFabric",
+        arrivals: dict[int, float] | None,
+    ) -> None:
+        self.width = width
+        self.nodelist = nodelist
+        self.size_bytes = size_bytes
+        self.fabric = fabric
+        self.overhead = fabric.config.send_overhead_s
+        self.penalty = fabric.config.dead_node_penalty_s
+        self.tel = telemetry.active()
+        self.arrivals = arrivals
+        self.makespan = 0.0
+        self.timeouts = 0
+        self.failed: list[int] = []
+
+    def dispatch_children(self, lo: int, hi: int, parent_id: int, ready: float, level: int) -> None:
+        """Asynchronous fan-out from a live parent at time ``ready``."""
+        fabric = self.fabric
+        nodelist = self.nodelist
+        tel = self.tel
+        for i, (c_lo, c_hi) in enumerate(children_bounds(lo, hi, self.width)):
+            child = nodelist[c_lo]
+            initiated = ready + (i + 1) * self.overhead
+            if fabric.is_reachable(child):
+                arrival = initiated + fabric.transfer_delay(parent_id, child, self.size_bytes)
+                if arrival > self.makespan:
+                    self.makespan = arrival
+                if tel is not None:
+                    tel.observe(f"net.tree.level{level}.arrival_s", arrival)
+                if self.arrivals is not None:
+                    self.arrivals[child] = arrival
+                self.dispatch_children(c_lo, c_hi, child, arrival, level + 1)
+            else:
+                self.timeouts += 1
+                self.failed.append(child)
+                # Detection itself does not gate any delivery (makespan
+                # is the last *successful* delivery); the takeover of
+                # the orphaned grandchildren starts after the timeout.
+                detected = initiated + self.penalty
+                self.takeover(c_lo, c_hi, parent_id, detected, level)
+
+    def takeover(self, lo: int, hi: int, parent_id: int, start: float, level: int) -> float:
+        """Synchronous serial adoption of a dead child's children.
+
+        Returns the time the parent finishes the whole takeover;
+        nested takeovers consume the parent's serial time too.
+        """
+        fabric = self.fabric
+        nodelist = self.nodelist
+        tel = self.tel
+        now = start
+        for g_lo, g_hi in children_bounds(lo, hi, self.width):
+            grandchild = nodelist[g_lo]
+            if fabric.is_reachable(grandchild):
+                now += self.overhead + fabric.transfer_delay(parent_id, grandchild, self.size_bytes)
+                if now > self.makespan:
+                    self.makespan = now
+                if tel is not None:
+                    tel.observe(f"net.tree.level{level + 1}.arrival_s", now)
+                if self.arrivals is not None:
+                    self.arrivals[grandchild] = now
+                self.dispatch_children(g_lo, g_hi, grandchild, now, level + 2)
+            else:
+                self.timeouts += 1
+                self.failed.append(grandchild)
+                now += self.penalty  # serial: gates the remaining adoptions
+                now = self.takeover(g_lo, g_hi, parent_id, now, level + 1)
+        return now
+
+    def run_vectorized(self, per_target_root_s: float) -> None:
+        """Level-order evaluation of the all-alive portion of the tree.
+
+        Processes each level as numpy arrays (child-range arithmetic,
+        pairwise delays, histogram observation) and collects dead
+        children as *patches*: their subtrees are excluded from the
+        sweep and replayed afterwards through the scalar takeover path,
+        in ascending-position order — which on this tree (contiguous
+        nested ranges, ordered siblings) is exactly the recursion's
+        DFS preorder, so ``failed`` ordering matches too.
+        """
+        nodelist = self.nodelist
+        arr = np.asarray(nodelist, dtype=np.int64)
+        fabric = self.fabric
+        overhead = self.overhead
+        width = self.width
+        tel = self.tel
+        down = fabric.unreachable_ids()
+        down_arr = np.fromiter(down, dtype=np.int64, count=len(down)) if down else None
+        patches: list[tuple[int, int, int, float, int]] = []
+        plo = np.zeros(1, dtype=np.int64)
+        phi = np.full(1, len(nodelist), dtype=np.int64)
+        pid = arr[:1]
+        pready = np.array([per_target_root_s * (len(nodelist) - 1)], dtype=np.float64)
+        level = 1
+        while plo.size:
+            m = phi - plo - 1  # descendant count per live parent
+            has = m > 0
+            if not has.all():
+                plo, phi, pid, pready, m = plo[has], phi[has], pid[has], pready[has], m[has]
+            if not plo.size:
+                break
+            # Child ranges of every parent at this level, flattened; the
+            # index arithmetic mirrors fptree._chunk_bounds.
+            k = np.minimum(width, m)
+            base = m // k
+            extra = m - base * k
+            total = int(k.sum())
+            pidx = np.repeat(np.arange(k.size), k)
+            offs = np.cumsum(k) - k
+            j = np.arange(total, dtype=np.int64) - offs[pidx]
+            c_lo = plo[pidx] + 1 + j * base[pidx] + np.minimum(j, extra[pidx])
+            c_hi = c_lo + base[pidx] + (j < extra[pidx])
+            child = arr[c_lo]
+            initiated = pready[pidx] + (j + 1) * overhead
+            parent_ids = pid[pidx]
+            if down_arr is not None:
+                dead = np.isin(child, down_arr)
+                if dead.any():
+                    for i in np.nonzero(dead)[0]:
+                        patches.append(
+                            (int(c_lo[i]), int(c_hi[i]), int(parent_ids[i]), float(initiated[i]), level)
+                        )
+                    live = ~dead
+                    c_lo = c_lo[live]
+                    c_hi = c_hi[live]
+                    child = child[live]
+                    initiated = initiated[live]
+                    parent_ids = parent_ids[live]
+            if child.size:
+                delays = fabric.transfer_delays_pairwise(parent_ids, child, self.size_bytes)
+                arrival = initiated + delays
+                peak = float(arrival.max())
+                if peak > self.makespan:
+                    self.makespan = peak
+                if tel is not None:
+                    tel.observe_many(f"net.tree.level{level}.arrival_s", arrival)
+                if self.arrivals is not None:
+                    self.arrivals.update(zip(child.tolist(), arrival.tolist()))
+            else:
+                arrival = initiated
+            plo, phi, pid, pready = c_lo, c_hi, child, arrival
+            level += 1
+        for p_lo, p_hi, parent_id, initiated_s, p_level in sorted(patches):
+            self.timeouts += 1
+            self.failed.append(nodelist[p_lo])
+            self.takeover(p_lo, p_hi, parent_id, initiated_s + self.penalty, p_level)
+
+
 class TreeBroadcast(BroadcastStructure):
     """K-ary tree relay with asynchronous dispatch and synchronous takeover.
 
     The tree shape is the implicit structure of
     :func:`repro.fptree.tree.build_tree` over ``[root] + targets``;
-    engines walk index ranges instead of materialising nodes.
+    engines walk index ranges instead of materialising nodes.  Large
+    jitter-free broadcasts take a vectorised level-order walk whose
+    float arithmetic matches the recursion operation-for-operation
+    (same results, orders of magnitude faster at machine scale).
     """
 
     name = "tree"
+
+    #: below this many targets the per-level numpy batching costs more
+    #: than the recursion it replaces
+    FAST_PATH_MIN_TARGETS = 64
 
     def __init__(self, width: int = 32, per_target_root_s: float = 0.0) -> None:
         """Args:
@@ -164,68 +347,22 @@ class TreeBroadcast(BroadcastStructure):
 
     def simulate(self, root, targets, size_bytes, fabric, record_arrivals=False):
         self._validate(targets, size_bytes)
-        nodelist = [root, *targets]
         result = BroadcastResult(self.name, 0.0, len(targets))
         if not targets:
             return result
-        cfg = fabric.config
-        penalty = cfg.dead_node_penalty_s
-        overhead = cfg.send_overhead_s
-        failed: list[int] = []
-        makespan = 0.0
-        timeouts = 0
-        tel = telemetry.active()
-
-        def dispatch_children(lo: int, hi: int, parent_id: int, ready: float, level: int) -> None:
-            """Asynchronous fan-out from a live parent at time ``ready``."""
-            nonlocal makespan, timeouts
-            for i, (c_lo, c_hi) in enumerate(children_bounds(lo, hi, self.width)):
-                child = nodelist[c_lo]
-                initiated = ready + (i + 1) * overhead
-                if fabric.is_reachable(child):
-                    arrival = initiated + fabric.transfer_delay(parent_id, child, size_bytes)
-                    makespan = max(makespan, arrival)
-                    if tel is not None:
-                        tel.observe(f"net.tree.level{level}.arrival_s", arrival)
-                    if record_arrivals:
-                        result.arrivals[child] = arrival
-                    dispatch_children(c_lo, c_hi, child, arrival, level + 1)
-                else:
-                    timeouts += 1
-                    failed.append(child)
-                    # Detection itself does not gate any delivery (makespan
-                    # is the last *successful* delivery); the takeover of
-                    # the orphaned grandchildren starts after the timeout.
-                    detected = initiated + penalty
-                    takeover(c_lo, c_hi, parent_id, detected, level)
-
-        def takeover(lo: int, hi: int, parent_id: int, start: float, level: int) -> float:
-            """Synchronous serial adoption of a dead child's children.
-
-            Returns the time the parent finishes the whole takeover;
-            nested takeovers consume the parent's serial time too.
-            """
-            nonlocal makespan, timeouts
-            now = start
-            for g_lo, g_hi in children_bounds(lo, hi, self.width):
-                grandchild = nodelist[g_lo]
-                if fabric.is_reachable(grandchild):
-                    now += overhead + fabric.transfer_delay(parent_id, grandchild, size_bytes)
-                    makespan = max(makespan, now)
-                    if tel is not None:
-                        tel.observe(f"net.tree.level{level + 1}.arrival_s", now)
-                    if record_arrivals:
-                        result.arrivals[grandchild] = now
-                    dispatch_children(g_lo, g_hi, grandchild, now, level + 2)
-                else:
-                    timeouts += 1
-                    failed.append(grandchild)
-                    now += penalty  # serial: gates the remaining adoptions
-                    now = takeover(g_lo, g_hi, parent_id, now, level + 1)
-            return now
-
-        dispatch_children(0, len(nodelist), root, self.per_target_root_s * len(targets), 1)
-        result.makespan_s = makespan
-        result.failed = tuple(failed)
-        result.n_timeouts = timeouts
+        nodelist = [root, *targets]
+        walk = _TreeWalk(
+            self.width, nodelist, size_bytes, fabric, result.arrivals if record_arrivals else None
+        )
+        # Jitter draws RNG per scalar transfer, so only the jitter-free
+        # configuration is safe to batch.
+        if len(targets) >= self.FAST_PATH_MIN_TARGETS and fabric.config.jitter_frac == 0.0:
+            walk.run_vectorized(self.per_target_root_s)
+        else:
+            walk.dispatch_children(
+                0, len(nodelist), root, self.per_target_root_s * len(targets), 1
+            )
+        result.makespan_s = walk.makespan
+        result.failed = tuple(walk.failed)
+        result.n_timeouts = walk.timeouts
         return result

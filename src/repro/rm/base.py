@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from repro.cluster.spec import Cluster
 from repro.errors import ConfigurationError, ProcessInterrupt, SchedulingError
 from repro.estimate.metrics import RuntimeEstimator
-from repro.network.broadcast import BroadcastResult
+from repro.network.broadcast import BroadcastResult, MemoizedBroadcast
 from repro.network.fabric import FabricConfig, NetworkFabric
 from repro.network.message import DEFAULT_SIZES, MessageKind
 from repro.network.structures import StarBroadcast, TreeBroadcast
@@ -147,6 +147,18 @@ class ResourceManager:
         self.submit_fail_prob = min(
             profile.submit_fail_per_10k_nodes * cluster.n_nodes / 10_000.0, 0.6
         )
+        #: persistent launch/terminate engine (built once, memoized —
+        #: repeated node sets between liveness changes skip evaluation);
+        #: profiles whose structure needs a subclass override leave it None
+        p = profile
+        if p.launch_structure is LaunchStructure.SERIAL:
+            self._launch_engine: t.Any = MemoizedBroadcast(StarBroadcast(concurrency=1))
+        elif p.launch_structure is LaunchStructure.STAR:
+            self._launch_engine = MemoizedBroadcast(StarBroadcast(concurrency=p.star_concurrency))
+        elif p.launch_structure is LaunchStructure.TREE:
+            self._launch_engine = MemoizedBroadcast(TreeBroadcast(width=p.tree_width))
+        else:
+            self._launch_engine = None
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -346,17 +358,14 @@ class ResourceManager:
         # Synchronous slave ack/prolog wait: serial pays per node, a star
         # amortises over its worker pool, a tree only per level.
         if p.launch_structure is LaunchStructure.SERIAL:
-            engine = StarBroadcast(concurrency=1)
             self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * n)
             telemetry.count("rm.master.msgs", n)
             ack_wait = p.launch_ack_s * n
         elif p.launch_structure is LaunchStructure.STAR:
-            engine = StarBroadcast(concurrency=p.star_concurrency)
             self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * n)
             telemetry.count("rm.master.msgs", n)
             ack_wait = p.launch_ack_s * n / p.star_concurrency
         elif p.launch_structure is LaunchStructure.TREE:
-            engine = TreeBroadcast(width=p.tree_width)
             # master only seeds the first layer; relays do the rest
             self.master_acct.charge_cpu(p.rpc_cpu_us / 1e6 * min(p.tree_width, n))
             telemetry.count("rm.master.msgs", min(p.tree_width, n))
@@ -365,7 +374,7 @@ class ResourceManager:
             raise ConfigurationError(
                 f"profile {p.name}: {p.launch_structure} needs a subclass override"
             )
-        result = engine.simulate(root, list(targets), size, self.fabric)
+        result = self._launch_engine.simulate(root, list(targets), size, self.fabric)
         result.makespan_s += ack_wait
         concurrent = min(len(targets), p.star_concurrency)
         if result.makespan_s > 0:

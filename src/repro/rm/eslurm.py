@@ -26,7 +26,7 @@ from repro.cluster.spec import Cluster
 from repro.estimate.framework import EslurmEstimator, EstimatorConfig
 from repro.fptree.constructor import FPTreeBroadcast
 from repro.fptree.predictor import FailurePredictor, MonitorAlertPredictor, NullPredictor
-from repro.network.broadcast import BroadcastResult
+from repro.network.broadcast import BroadcastResult, MemoizedBroadcast
 from repro.network.message import DEFAULT_SIZES, MessageKind
 from repro.network.structures import TreeBroadcast
 from repro.rm.base import ResourceManager
@@ -89,9 +89,12 @@ class EslurmRM(ResourceManager):
         else:
             self.predictor = NullPredictor()
         #: one shared engine so FP-Tree construction statistics (the
-        #: leaf-placement experiment of Section VII-A) accumulate.
-        self._fp_engine = FPTreeBroadcast(self.predictor, width=self.profile.tree_width)
-        self._takeover_engine = TreeBroadcast(width=self.profile.tree_width)
+        #: leaf-placement experiment of Section VII-A) accumulate; the
+        #: inner tree evaluation is memoized against liveness versions.
+        self._fp_engine = FPTreeBroadcast(
+            self.predictor, width=self.profile.tree_width, memoize=True
+        )
+        self._takeover_engine = MemoizedBroadcast(TreeBroadcast(width=self.profile.tree_width))
         self._hb_cache_key: tuple[int, int, int] | None = None
         self._hb_cache_makespan = 0.0
 

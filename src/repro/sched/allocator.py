@@ -7,6 +7,7 @@ each running job is *believed* to end (its start time plus wall limit).
 
 from __future__ import annotations
 
+import heapq
 import typing as t
 from dataclasses import dataclass
 
@@ -24,17 +25,28 @@ class RunningJob:
 
 
 class NodePool:
-    """Free-set + running-set over a fixed universe of compute nodes."""
+    """Free-set + running-set over a fixed universe of compute nodes.
+
+    Allocation order is *first-fit-by-id*: a k-node job always receives
+    the k smallest free node ids.  The free set is mirrored into a lazy
+    min-heap so each allocation costs O(k log n) pops instead of the
+    O(n log n) full sort the naive ``sorted(free)[:k]`` pays; stale heap
+    entries (ids no longer free) are skipped on pop and the heap is
+    rebuilt outright if stale entries ever dominate.
+    """
 
     def __init__(self, node_ids: t.Iterable[int]) -> None:
         universe = list(node_ids)
         if len(set(universe)) != len(universe):
             raise SchedulingError("duplicate node ids in pool")
         self._universe: set[int] = set(universe)
-        #: sorted free list gives first-fit-by-id determinism
         self._free: set[int] = set(universe)
+        #: lazy min-heap over the free set (may hold stale/duplicate ids)
+        self._free_heap: list[int] = sorted(universe)
         self._down: set[int] = set()
         self.running: dict[int, RunningJob] = {}
+        #: memo for :meth:`believed_ends`, dropped whenever ``running`` changes
+        self._ends_cache: list[tuple[float, int]] | None = None
 
     # -- capacity ----------------------------------------------------------
     @property
@@ -75,13 +87,30 @@ class NodePool:
             raise SchedulingError(
                 f"job {job.job_id}: wants {job.n_nodes} nodes, {self.n_free} free"
             )
-        chosen = tuple(sorted(self._free)[: job.n_nodes])
-        self._free.difference_update(chosen)
+        chosen = self._pop_smallest_free(job.n_nodes)
         # Reservations must rest on the *kill limit* — the only bound the
         # system enforces.  Planning estimates (job.planned_s) steer
         # backfill eligibility, never reservation safety.
         self.running[job.job_id] = RunningJob(job, chosen, now + job.limit_s)
+        self._ends_cache = None
         return chosen
+
+    def _pop_smallest_free(self, k: int) -> tuple[int, ...]:
+        """The k smallest free ids, removed from the free set."""
+        heap = self._free_heap
+        free = self._free
+        chosen: list[int] = []
+        while len(chosen) < k:
+            nid = heapq.heappop(heap)
+            if nid in free:
+                free.remove(nid)
+                chosen.append(nid)
+        if len(heap) > 4 * self.n_total:
+            self._rebuild_heap()
+        return tuple(chosen)
+
+    def _rebuild_heap(self) -> None:
+        self._free_heap = sorted(self._free)
 
     def release(self, job_id: int) -> tuple[int, ...]:
         """Free the nodes of a finished job; returns them."""
@@ -89,8 +118,11 @@ class NodePool:
             rec = self.running.pop(job_id)
         except KeyError:
             raise SchedulingError(f"job {job_id}: not running") from None
+        self._ends_cache = None
         back = tuple(nid for nid in rec.node_ids if nid not in self._down)
         self._free.update(back)
+        for nid in back:
+            heapq.heappush(self._free_heap, nid)
         return rec.node_ids
 
     # -- failures ---------------------------------------------------------------
@@ -99,6 +131,7 @@ class NodePool:
         if node_id not in self._universe:
             raise SchedulingError(f"node {node_id} not in pool")
         self._down.add(node_id)
+        # A stale heap entry may linger; pops skip ids outside the set.
         self._free.discard(node_id)
         for job_id, rec in self.running.items():
             if node_id in rec.node_ids:
@@ -114,11 +147,21 @@ class NodePool:
             held = any(node_id in rec.node_ids for rec in self.running.values())
             if not held:
                 self._free.add(node_id)
+                heapq.heappush(self._free_heap, node_id)
 
     # -- backfill support ---------------------------------------------------
     def believed_ends(self) -> list[tuple[float, int]]:
-        """``(believed_end, n_nodes)`` of running jobs, soonest first."""
-        return sorted((rec.believed_end, len(rec.node_ids)) for rec in self.running.values())
+        """``(believed_end, n_nodes)`` of running jobs, soonest first.
+
+        Cached between mutations: a scheduling pass may consult this
+        several times (head reservation, telemetry) without re-sorting.
+        Callers must not mutate the returned list.
+        """
+        if self._ends_cache is None:
+            self._ends_cache = sorted(
+                (rec.believed_end, len(rec.node_ids)) for rec in self.running.values()
+            )
+        return self._ends_cache
 
     def utilization_now(self) -> float:
         """Fraction of non-down nodes currently busy."""

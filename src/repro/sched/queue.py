@@ -54,3 +54,13 @@ class JobQueue:
     def pending_after_head(self) -> list[Job]:
         """Jobs behind the head, in order (backfill candidates)."""
         return self._jobs[1:]
+
+    def backfill_candidates(self, depth: int) -> list[Job]:
+        """The first ``depth`` jobs behind the head, in order.
+
+        A bounded snapshot (the scheduler mutates the queue while
+        iterating) that copies O(depth) instead of the O(queue) of
+        ``pending_after_head`` — the difference matters when thousands
+        of jobs are queued behind a 100-deep backfill window.
+        """
+        return self._jobs[1 : depth + 1]

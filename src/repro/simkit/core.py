@@ -82,15 +82,30 @@ class Simulator:
         heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else _INFINITY
+        """Time of the next *live* scheduled event, or ``inf`` if none.
+
+        Lazily discards cancelled entries that surfaced at the top of
+        the heap (see :meth:`repro.simkit.events.Event.cancel`).
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else _INFINITY
 
     def step(self) -> None:
-        """Process exactly one event; raises if the heap is empty."""
-        try:
-            when, _prio, _seq, event = heapq.heappop(self._heap)
-        except IndexError:
-            raise SimulationError("step() on an empty event heap") from None
+        """Process exactly one live event; raises if the heap is empty.
+
+        Cancelled entries surfacing at the top are dropped silently:
+        they do not advance the clock, run callbacks, count toward
+        ``events_processed``, or reach trace hooks/probes.
+        """
+        while True:
+            try:
+                when, _prio, _seq, event = heapq.heappop(self._heap)
+            except IndexError:
+                raise SimulationError("step() on an empty event heap") from None
+            if not event.cancelled:
+                break
         if when < self._now:  # pragma: no cover - defensive, unreachable
             raise SimulationError("event heap went backwards in time")
         self._now = when
@@ -133,7 +148,12 @@ class Simulator:
         tel = telemetry.active()
         try:
             if tel is None:
-                while self._heap and self.peek() <= deadline:
+                while True:
+                    # peek() prunes cancelled entries; inf means the heap
+                    # is drained (or holds only cancelled events).
+                    when = self.peek()
+                    if when == _INFINITY or when > deadline:
+                        break
                     self.step()
             else:
                 self._run_instrumented(deadline, tel)
@@ -160,7 +180,12 @@ class Simulator:
         depth_hist = tel.registry.histogram("sim.heap.depth")
         peak = 0
         try:
-            while self._heap and self._heap[0][0] <= deadline:
+            while True:
+                # peek() prunes cancelled entries; inf means the heap is
+                # drained (or holds only cancelled events).
+                when = self.peek()
+                if when == _INFINITY or when > deadline:
+                    break
                 depth = len(self._heap)
                 if depth > peak:
                     peak = depth

@@ -35,7 +35,7 @@ class Event:
         sim: owning simulator.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused", "cancelled")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -44,6 +44,9 @@ class Event:
         self._ok: bool | None = None
         #: True once a failure's exception has been consumed by a waiter.
         self.defused = False
+        #: True once :meth:`cancel` marked the event dead; the heap entry
+        #: is discarded lazily when it surfaces.
+        self.cancelled = False
 
     # -- state ---------------------------------------------------------
     @property
@@ -70,9 +73,26 @@ class Event:
             raise SimulationError("event value not yet available")
         return self._value
 
+    # -- cancellation --------------------------------------------------
+    def cancel(self) -> None:
+        """Mark a scheduled event dead without removing it from the heap.
+
+        Heap removal would cost O(n) + re-heapify; instead the entry is
+        skipped when it reaches the top of the heap (lazy deletion, the
+        standard event-calendar technique).  A cancelled event never
+        runs its callbacks, never counts as processed, and never appears
+        in the golden event trace.  Cancelling an already-processed
+        event is an error; a cancelled event cannot be (re-)triggered.
+        """
+        if self.processed:
+            raise SimulationError("cannot cancel a processed event")
+        self.cancelled = True
+
     # -- triggering ----------------------------------------------------
     def succeed(self, value: t.Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
         """Schedule the event to fire successfully with ``value``."""
+        if self.cancelled:
+            raise SimulationError("event was cancelled")
         if self.triggered:
             raise SimulationError("event already triggered")
         self._ok = True
@@ -86,6 +106,8 @@ class Event:
         A failed event that nobody waits on re-raises at the end of the
         run unless :attr:`defused` is set.
         """
+        if self.cancelled:
+            raise SimulationError("event was cancelled")
         if self.triggered:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):

@@ -49,6 +49,12 @@ class Telemetry:
     def observe(self, name: str, value: float, bounds: t.Sequence[float] = DEFAULT_BOUNDS) -> None:
         self.registry.histogram(name, bounds).observe(value)
 
+    def observe_many(
+        self, name: str, values: t.Any, bounds: t.Sequence[float] = DEFAULT_BOUNDS
+    ) -> None:
+        """Bulk histogram observation (numpy array of values)."""
+        self.registry.histogram(name, bounds).observe_many(values)
+
     # -- tracing -----------------------------------------------------------
     def span(self, name: str) -> Span:
         return Span(self, name)
@@ -78,6 +84,32 @@ def uninstall() -> None:
     """Back to the zero-overhead default."""
     global _active
     _active = None
+
+
+@contextlib.contextmanager
+def capture_delta() -> t.Iterator[MetricsRegistry | None]:
+    """Scope metric writes into a scratch registry, then fold them back.
+
+    Yields the scratch :class:`MetricsRegistry` (or ``None`` when
+    telemetry is off).  On exit the scratch is merged into the session
+    that was active on entry, so instrumented code behaves exactly as
+    if it had recorded directly — but the caller keeps the delta and
+    can re-merge it later to *replay* the metrics of a memoized
+    computation without re-running it (broadcast caches).  Spans still
+    reach the original sink; only metrics are rerouted.
+    """
+    global _active
+    parent = _active
+    if parent is None:
+        yield None
+        return
+    scratch = Telemetry(sink=parent.sink)
+    _active = scratch
+    try:
+        yield scratch.registry
+    finally:
+        _active = parent
+        parent.registry.merge(scratch.registry)
 
 
 @contextlib.contextmanager

@@ -111,6 +111,35 @@ class Histogram:
         if value > self.max:
             self.max = value
 
+    def observe_many(self, values: t.Any) -> None:
+        """Bulk :meth:`observe` over an array of values.
+
+        Buckets/extremes are computed vectorised; the running ``total``
+        is still accumulated element-by-element in input order so the
+        result is bit-identical to observing the values one at a time —
+        same-seed determinism must not depend on which call the
+        instrumented site used.
+        """
+        import numpy as np
+
+        values = np.asarray(values, dtype=np.float64)
+        if not values.size:
+            return
+        idx = np.searchsorted(np.asarray(self.bounds), values, side="left")
+        counts = np.bincount(idx, minlength=len(self.buckets))
+        buckets = self.buckets
+        for i in np.nonzero(counts)[0]:
+            buckets[i] += int(counts[i])
+        self.count += int(values.size)
+        for v in values.tolist():
+            self.total += v
+        lo = float(values.min())
+        hi = float(values.max())
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -1,0 +1,185 @@
+"""Paper-scale tiers: baseline build/compare logic, profile mode, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    PAPER_FULL_SCENARIO,
+    PAPER_SCALE,
+    PAPER_SMOKE_SCENARIO,
+    build_baseline,
+    compare_baseline,
+    dump_baseline,
+    get_scenario,
+    load_baseline,
+    profile_bench,
+    run_bench,
+)
+from repro.bench.paper_scale import BASELINE_SCHEMA, compare_tier
+from repro.bench.runner import BenchResult
+from repro.errors import ConfigurationError
+
+
+def fake_result(name=PAPER_SMOKE_SCENARIO, seed=0, events=1000, peak=50, wall=2.0):
+    spec = get_scenario(name)
+    payload = {"events": events, "events_per_sim_s": 0.5, "peak_heap_depth": peak}
+    return BenchResult(
+        scenario=spec, seed=seed, payload=payload, host_wall_s=wall, host_metrics={}
+    )
+
+
+def fake_tier(seed=0, events=1000, peak=50, wall=2.0):
+    return {
+        "seed": seed,
+        "events": events,
+        "peak_heap_depth": peak,
+        "host_wall_s": wall,
+    }
+
+
+class TestScenarios:
+    def test_tiers_cover_paper_sizes(self):
+        assert {s.n_nodes for s in PAPER_SCALE.values()} == {1024, 4096, 16_384}
+        for scenario in PAPER_SCALE.values():
+            assert scenario.rm == "eslurm"
+            assert scenario.failures
+            assert scenario.n_jobs == 10_000
+            assert scenario.horizon_s == 86_400.0
+
+    def test_reachable_via_get_scenario(self):
+        assert get_scenario(PAPER_SMOKE_SCENARIO).n_nodes == 1024
+        assert get_scenario(PAPER_FULL_SCENARIO).n_nodes == 16_384
+
+
+class TestCompareTier:
+    def test_within_tolerance_passes(self):
+        c = compare_tier(fake_tier(wall=2.0), fake_result(wall=2.3), tolerance=0.25)
+        assert c.ok
+
+    def test_wall_regression_fails(self):
+        c = compare_tier(fake_tier(wall=2.0), fake_result(wall=2.6), tolerance=0.25)
+        assert not c.ok
+        assert any("regression" in note for note in c.notes)
+
+    def test_faster_than_baseline_passes(self):
+        c = compare_tier(fake_tier(wall=2.0), fake_result(wall=0.5), tolerance=0.25)
+        assert c.ok
+        assert any("re-recording" in note for note in c.notes)
+
+    def test_event_drift_fails_at_same_seed(self):
+        c = compare_tier(fake_tier(events=1000), fake_result(events=1001))
+        assert not c.ok
+        assert any("behaviour drift" in note for note in c.notes)
+
+    def test_different_seed_skips_anchors(self):
+        c = compare_tier(fake_tier(seed=0, events=1000), fake_result(seed=7, events=9999))
+        assert c.ok
+        assert any("seed differs" in note for note in c.notes)
+
+
+class TestBaselineFile:
+    def test_roundtrip(self, tmp_path):
+        baseline = build_baseline([fake_result()])
+        assert baseline["schema"] == BASELINE_SCHEMA
+        path = tmp_path / "BENCH_paper_scale.json"
+        path.write_text(dump_baseline(baseline))
+        loaded = load_baseline(path)
+        assert loaded == baseline
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope", "tiers": {"x": {}}}))
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+    def test_missing_tiers_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": BASELINE_SCHEMA, "tiers": {}}))
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+    def test_unknown_tier_rejected(self):
+        baseline = {"schema": BASELINE_SCHEMA, "tiers": {"paper-1024": fake_tier()}}
+        with pytest.raises(ConfigurationError):
+            compare_baseline(baseline, names=["paper-9999"])
+
+    def test_checked_in_baseline_is_valid(self):
+        baseline = load_baseline("benchmarks/BENCH_paper_scale.json")
+        assert set(baseline["tiers"]) == set(PAPER_SCALE)
+
+
+class TestSmokeTier:
+    def test_1k_tier_matches_checked_in_anchors(self):
+        """The checked-in baseline's deterministic anchors reproduce."""
+        baseline = load_baseline("benchmarks/BENCH_paper_scale.json")
+        tier = baseline["tiers"][PAPER_SMOKE_SCENARIO]
+        result = run_bench(PAPER_SMOKE_SCENARIO, seed=tier["seed"])
+        assert result.payload["events"] == tier["events"]
+        assert result.payload["peak_heap_depth"] == tier["peak_heap_depth"]
+
+
+@pytest.mark.slow
+class TestFullScale:
+    def test_16k_profile_completes_quickly(self):
+        """Acceptance: the 16,384-node / 10K-job tier profiles in <30s."""
+        result, report = profile_bench(PAPER_FULL_SCENARIO, seed=0)
+        assert result.host_wall_s < 30.0
+        assert "cumulative" in report
+
+
+class TestCli:
+    def test_profile_flag_defaults_to_paper_full(self, capsys, monkeypatch):
+        from repro import cli
+
+        calls = []
+
+        def stub(name, seed=0, top=25):
+            calls.append((name, seed))
+            return fake_result(name, seed=seed), "cumulative (stubbed)"
+
+        monkeypatch.setattr("repro.bench.profile_bench", stub)
+        assert cli.main(["bench", "--profile"]) == 0
+        assert calls == [(PAPER_FULL_SCENARIO, 0)]
+        assert "cumulative (stubbed)" in capsys.readouterr().out
+
+    def test_profile_runs_named_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "run", "slurm-1024", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "slurm-1024:" in out
+        assert "cumulative" in out
+
+    def test_compare_ok_and_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        result = run_bench(PAPER_SMOKE_SCENARIO, seed=0)
+        baseline = build_baseline([result])
+        path = tmp_path / "BENCH_paper_scale.json"
+        path.write_text(dump_baseline(baseline))
+        assert main(["bench", "compare", str(path)]) == 0
+        # An impossible wall budget must flag a regression.
+        baseline["tiers"][PAPER_SMOKE_SCENARIO]["host_wall_s"] = 1e-9
+        path.write_text(dump_baseline(baseline))
+        assert main(["bench", "compare", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_baseline_verb_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "baseline.json"
+        assert main(
+            ["bench", "baseline", PAPER_SMOKE_SCENARIO, "--out", str(path)]
+        ) == 0
+        loaded = load_baseline(path)
+        assert PAPER_SMOKE_SCENARIO in loaded["tiers"]
+
+    def test_list_includes_paper_tiers(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in PAPER_SCALE:
+            assert name in out

@@ -44,13 +44,21 @@ class TestKMeans:
         assert km.predict_one(X[0]) == km.labels_[0]
 
     def test_more_clusters_than_points_clamped(self):
-        X = np.ones((3, 2))
+        X = np.arange(6, dtype=float).reshape(3, 2)
         km = KMeans(10, rng=np.random.default_rng(0)).fit(X)
         assert km.n_clusters == 3
+
+    def test_clamps_to_distinct_rows(self):
+        # 6 rows but only 2 distinct values: K must clamp to 2, not 6.
+        X = np.array([[1.0], [1.0], [1.0], [5.0], [5.0], [5.0]])
+        km = KMeans(6, rng=np.random.default_rng(0)).fit(X)
+        assert km.n_clusters == 2
+        assert km.inertia_ == pytest.approx(0.0)
 
     def test_identical_points(self):
         X = np.ones((20, 3))
         km = KMeans(4, rng=np.random.default_rng(0)).fit(X)
+        assert km.n_clusters == 1
         assert km.inertia_ == pytest.approx(0.0)
 
     def test_invalid_inputs(self):
@@ -89,3 +97,25 @@ class TestElbow:
     def test_empty_rejected(self):
         with pytest.raises(EstimationError):
             elbow_k(np.empty((0, 2)))
+
+    @pytest.mark.parametrize("window", list(range(2, 15)))
+    def test_short_history_windows(self, window):
+        """K never overflows the distinct sample count at window sizes 2-14.
+
+        Regression for the estimator's per-user history windows: short
+        windows routinely contain repeated wall times (the same binary
+        resubmitted), and the elbow sweep used to fit K up to the *row*
+        count, crowning a bogus knee past the distinct-value tail.
+        """
+        rng = np.random.default_rng(window)
+        # At most 3 distinct runtimes, repeated to fill the window.
+        distinct = np.array([[60.0], [600.0], [3600.0]])[: min(3, window)]
+        X = distinct[rng.integers(len(distinct), size=window)]
+        n_distinct = np.unique(X, axis=0).shape[0]
+        k = elbow_k(X, k_max=25, rng=np.random.default_rng(0))
+        assert 1 <= k <= n_distinct
+
+    @pytest.mark.parametrize("window", list(range(2, 15)))
+    def test_all_duplicate_window_returns_one(self, window):
+        X = np.full((window, 1), 42.0)
+        assert elbow_k(X, k_max=25, rng=np.random.default_rng(0)) == 1

@@ -153,3 +153,67 @@ class TestFPTreeBroadcast:
         plain_growth = plain_times[1] / plain_times[0]
         fp_growth = fp_times[1] / fp_times[0]
         assert fp_growth < plain_growth
+
+
+class TestConstructMemo:
+    def test_repeat_construct_hits_and_matches(self):
+        ctor = FPTreeConstructor(StaticSetPredictor({3, 7}), width=4)
+        targets = list(range(1, 30))
+        first = ctor.construct(0, targets)
+        second = ctor.construct(0, targets)
+        assert second == first
+        assert (ctor.memo_misses, ctor.memo_hits) == (1, 1)
+
+    def test_hit_returns_fresh_list(self):
+        ctor = FPTreeConstructor(StaticSetPredictor({3}), width=4)
+        targets = list(range(1, 20))
+        a = ctor.construct(0, targets)
+        a[0] = -1  # caller mutation must not poison the memo
+        b = ctor.construct(0, targets)
+        assert b[0] != -1
+
+    def test_hit_replays_stats(self):
+        ctor = FPTreeConstructor(StaticSetPredictor({1, 2}), width=4)
+        targets = list(range(1, 17))
+        ctor.construct(0, targets)
+        miss_stats = (
+            ctor.stats.trees_built,
+            ctor.stats.nodes_placed,
+            ctor.stats.predicted_total,
+            ctor.stats.predicted_on_leaves,
+        )
+        ctor.construct(0, targets)
+        assert ctor.stats.trees_built == 2 * miss_stats[0]
+        assert ctor.stats.nodes_placed == 2 * miss_stats[1]
+        assert ctor.stats.predicted_total == 2 * miss_stats[2]
+        assert ctor.stats.predicted_on_leaves == 2 * miss_stats[3]
+
+    def test_hit_replays_observers(self):
+        ctor = FPTreeConstructor(StaticSetPredictor({2}), width=4)
+        calls = []
+        ctor.construct_observers.append(
+            lambda targets, ordered, leaf_idx, predicted: calls.append(
+                (tuple(targets), tuple(ordered), tuple(leaf_idx), frozenset(predicted))
+            )
+        )
+        targets = list(range(1, 12))
+        ctor.construct(0, targets)
+        ctor.construct(0, targets)
+        assert len(calls) == 2
+        assert calls[0] == calls[1]
+
+    def test_changed_prediction_set_misses(self):
+        predictor = StaticSetPredictor({2})
+        ctor = FPTreeConstructor(predictor, width=4)
+        targets = list(range(1, 12))
+        ctor.construct(0, targets)
+        predictor.predicted = {2, 5}
+        ctor.construct(0, targets)
+        assert ctor.memo_misses == 2
+        assert ctor.memo_hits == 0
+
+    def test_changed_targets_miss(self):
+        ctor = FPTreeConstructor(StaticSetPredictor({2}), width=4)
+        ctor.construct(0, list(range(1, 12)))
+        ctor.construct(0, list(range(1, 13)))
+        assert ctor.memo_misses == 2

@@ -1,0 +1,125 @@
+"""Tests for the broadcast memoization layer."""
+
+from repro.cluster import ClusterSpec
+from repro.network import FabricConfig, NetworkFabric, StarBroadcast, TreeBroadcast
+from repro.network.broadcast import MemoizedBroadcast
+from repro.simkit import Simulator
+from repro.telemetry import facade as telemetry
+
+
+def build(n=128, seed=0, jitter=0.0):
+    sim = Simulator(seed=seed)
+    cluster = ClusterSpec(n_nodes=n).build(sim)
+    fabric = NetworkFabric(sim, cluster, FabricConfig(jitter_frac=jitter))
+    return sim, cluster, fabric
+
+
+class TestCaching:
+    def test_hit_on_repeat_miss_on_first(self):
+        _, _, fabric = build()
+        memo = MemoizedBroadcast(TreeBroadcast(width=8))
+        targets = list(range(1, 128))
+        a = memo.simulate(0, targets, 1024, fabric)
+        b = memo.simulate(0, targets, 1024, fabric)
+        assert (memo.misses, memo.hits) == (1, 1)
+        assert a.makespan_s == b.makespan_s
+        assert a.failed == b.failed
+
+    def test_different_keys_are_distinct(self):
+        _, _, fabric = build()
+        memo = MemoizedBroadcast(TreeBroadcast(width=8))
+        targets = list(range(1, 128))
+        memo.simulate(0, targets, 1024, fabric)
+        memo.simulate(0, targets, 2048, fabric)  # size differs
+        memo.simulate(0, targets[:-1], 1024, fabric)  # targets differ
+        memo.simulate(1, targets[1:], 1024, fabric)  # root differs
+        assert memo.misses == 4
+        assert memo.hits == 0
+
+    def test_version_bump_invalidates(self):
+        _, cluster, fabric = build()
+        memo = MemoizedBroadcast(TreeBroadcast(width=8))
+        targets = list(range(1, 128))
+        before = memo.simulate(0, targets, 1024, fabric)
+        cluster.fail_nodes([5])
+        after = memo.simulate(0, targets, 1024, fabric)
+        assert memo.misses == 2  # version changed -> recompute
+        assert before.failed == ()
+        assert after.failed == (5,)
+
+    def test_returns_copies_not_cached_instance(self):
+        _, _, fabric = build()
+        memo = MemoizedBroadcast(TreeBroadcast(width=8))
+        targets = list(range(1, 128))
+        a = memo.simulate(0, targets, 1024, fabric, record_arrivals=True)
+        original = a.makespan_s
+        a.makespan_s += 99.0  # callers add ack-wait in place
+        a.arrivals[1] = -1.0
+        b = memo.simulate(0, targets, 1024, fabric, record_arrivals=True)
+        assert b.makespan_s == original
+        assert b.arrivals[1] != -1.0
+
+    def test_lru_eviction(self):
+        _, _, fabric = build(n=16)
+        memo = MemoizedBroadcast(StarBroadcast(), maxsize=2)
+        memo.simulate(0, [1], 1024, fabric)
+        memo.simulate(0, [2], 1024, fabric)
+        memo.simulate(0, [3], 1024, fabric)  # evicts the [1] entry
+        memo.simulate(0, [1], 1024, fabric)
+        assert memo.misses == 4
+
+    def test_new_fabric_clears_cache(self):
+        _, _, fabric_a = build(seed=1)
+        _, _, fabric_b = build(seed=2)
+        memo = MemoizedBroadcast(StarBroadcast())
+        memo.simulate(0, [1, 2], 1024, fabric_a)
+        memo.simulate(0, [1, 2], 1024, fabric_b)
+        assert memo.misses == 2
+
+    def test_jitter_bypasses_cache(self):
+        _, _, fabric = build(jitter=0.2)
+        memo = MemoizedBroadcast(TreeBroadcast(width=8))
+        targets = list(range(1, 128))
+        memo.simulate(0, targets, 1024, fabric)
+        memo.simulate(0, targets, 1024, fabric)
+        assert (memo.misses, memo.hits) == (0, 0)
+
+
+class TestTelemetryReplay:
+    def test_hit_replays_recorded_delta(self):
+        _, _, fabric = build()
+        memo = MemoizedBroadcast(TreeBroadcast(width=8))
+        targets = list(range(1, 128))
+        with telemetry.session() as tel:
+            memo.simulate(0, targets, 1024, fabric)
+            after_miss = tel.snapshot()["counters"]["net.messages"]
+            memo.simulate(0, targets, 1024, fabric)
+            after_hit = tel.snapshot()["counters"]["net.messages"]
+        assert memo.hits == 1
+        assert after_miss > 0
+        assert after_hit == 2 * after_miss  # hit merged the same delta
+
+    def test_matches_uncached_run(self):
+        targets = list(range(1, 128))
+
+        def run(engine):
+            _, _, fabric = build()
+            with telemetry.session() as tel:
+                engine.simulate(0, targets, 1024, fabric)
+                engine.simulate(0, targets, 1024, fabric)
+                return tel.snapshot()["counters"]
+
+        cached = run(MemoizedBroadcast(TreeBroadcast(width=8)))
+        plain = run(TreeBroadcast(width=8))
+        for name in ("net.messages", "net.bytes"):
+            assert cached[name] == plain[name]
+
+    def test_telemetry_off_entry_recomputed_when_on(self):
+        _, _, fabric = build()
+        memo = MemoizedBroadcast(TreeBroadcast(width=8))
+        targets = list(range(1, 128))
+        memo.simulate(0, targets, 1024, fabric)  # no session: delta is None
+        with telemetry.session() as tel:
+            memo.simulate(0, targets, 1024, fabric)
+            assert tel.snapshot()["counters"]["net.messages"] > 0
+        assert memo.misses == 2  # stale None-delta entry was not served

@@ -171,3 +171,82 @@ class TestTree:
     def test_invalid_width(self):
         with pytest.raises(ConfigurationError):
             TreeBroadcast(width=1)
+
+
+def scalar_tree(width=8, per_target_root_s=0.0):
+    engine = TreeBroadcast(width=width, per_target_root_s=per_target_root_s)
+    # Instance attribute shadows the class threshold: force the recursive walk.
+    engine.FAST_PATH_MIN_TARGETS = 10**9
+    return engine
+
+
+class TestTreeVectorizedEquivalence:
+    """The numpy level-order walk must reproduce the recursion bit-for-bit."""
+
+    @pytest.mark.parametrize("width", [2, 8, 32])
+    @pytest.mark.parametrize("n", [65, 256, 1000])
+    def test_all_alive(self, width, n):
+        _, _, fabric = build(n=n)
+        targets = list(range(1, n))
+        fast = TreeBroadcast(width=width).simulate(0, targets, 4096, fabric)
+        slow = scalar_tree(width=width).simulate(0, targets, 4096, fabric)
+        assert fast.makespan_s == slow.makespan_s  # bit-identical, not approx
+        assert fast.failed == slow.failed
+        assert fast.n_timeouts == slow.n_timeouts
+
+    @pytest.mark.parametrize("width", [2, 8, 32])
+    def test_with_leaf_and_inner_failures(self, width):
+        _, cluster, fabric = build(n=512)
+        # id 1 roots the first subtree (inner); the rest hit leaves/mid levels.
+        cluster.fail_nodes([1, 17, 100, 101, 255, 511])
+        targets = list(range(1, 512))
+        fast = TreeBroadcast(width=width).simulate(0, targets, 4096, fabric)
+        slow = scalar_tree(width=width).simulate(0, targets, 4096, fabric)
+        assert fast.makespan_s == slow.makespan_s
+        assert fast.failed == slow.failed  # same *order*, not just same set
+        assert fast.n_timeouts == slow.n_timeouts
+
+    def test_with_many_failures(self):
+        _, cluster, fabric = build(n=1024)
+        cluster.fail_nodes(list(range(7, 1024, 7)))
+        targets = list(range(1, 1024))
+        fast = TreeBroadcast(width=16).simulate(0, targets, 4096, fabric)
+        slow = scalar_tree(width=16).simulate(0, targets, 4096, fabric)
+        assert fast.makespan_s == slow.makespan_s
+        assert fast.failed == slow.failed
+
+    def test_arrivals_match(self):
+        _, cluster, fabric = build(n=256)
+        cluster.fail_nodes([3, 64])
+        targets = list(range(1, 256))
+        fast = TreeBroadcast(width=8).simulate(0, targets, 4096, fabric, record_arrivals=True)
+        slow = scalar_tree(width=8).simulate(0, targets, 4096, fabric, record_arrivals=True)
+        assert fast.arrivals == slow.arrivals
+
+    def test_per_target_root_cost(self):
+        _, _, fabric = build(n=128)
+        targets = list(range(1, 128))
+        fast = TreeBroadcast(width=8, per_target_root_s=1e-4).simulate(0, targets, 4096, fabric)
+        slow = scalar_tree(width=8, per_target_root_s=1e-4).simulate(0, targets, 4096, fabric)
+        assert fast.makespan_s == slow.makespan_s
+
+    def test_small_broadcasts_stay_scalar(self):
+        _, _, fabric = build(n=64)
+        engine = TreeBroadcast(width=8)
+        targets = list(range(1, 32))  # below FAST_PATH_MIN_TARGETS
+        res = engine.simulate(0, targets, 1024, fabric)
+        ref = scalar_tree(width=8).simulate(0, targets, 1024, fabric)
+        assert res.makespan_s == ref.makespan_s
+
+    def test_jitter_forces_scalar_path(self):
+        sim = Simulator(seed=7)
+        cluster = ClusterSpec(n_nodes=256).build(sim)
+        fabric = NetworkFabric(sim, cluster, FabricConfig(jitter_frac=0.1))
+        targets = list(range(1, 256))
+        # Same seeded RNG stream twice: scalar draw order both times.
+        a = TreeBroadcast(width=8).simulate(0, targets, 1024, fabric)
+        sim2 = Simulator(seed=7)
+        cluster2 = ClusterSpec(n_nodes=256).build(sim2)
+        fabric2 = NetworkFabric(sim2, cluster2, FabricConfig(jitter_frac=0.1))
+        b = scalar_tree(width=8).simulate(0, targets, 1024, fabric2)
+        assert a.makespan_s == b.makespan_s

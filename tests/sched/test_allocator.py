@@ -112,3 +112,94 @@ class TestUtilization:
         assert pool.utilization_now() == pytest.approx(0.4)
         pool.mark_down(9)
         assert pool.utilization_now() == pytest.approx(4 / 9)
+
+
+class TestLazyHeap:
+    """The lazy min-heap must be observationally identical to sorted(free)[:k]."""
+
+    def test_random_ops_match_sorted_reference(self):
+        import random
+
+        rng = random.Random(1234)
+        pool = NodePool(range(64))
+        model_free = set(range(64))
+        model_running = {}
+        next_id = 1
+        for _ in range(500):
+            op = rng.random()
+            if op < 0.5 and len(model_free) >= 2:
+                k = rng.randint(1, min(4, len(model_free)))
+                job = make_job(job_id=next_id, n_nodes=k)
+                next_id += 1
+                got = pool.allocate(job, now=0.0)
+                want = tuple(sorted(model_free)[:k])
+                assert got == want
+                model_free -= set(want)
+                model_running[job.job_id] = want
+            elif op < 0.8 and model_running:
+                job_id = rng.choice(sorted(model_running))
+                nodes = model_running.pop(job_id)
+                pool.release(job_id)
+                model_free |= set(n for n in nodes if n not in pool.down_ids())
+            elif op < 0.9:
+                nid = rng.randrange(64)
+                killed = pool.mark_down(nid)
+                model_free.discard(nid)
+                if killed is not None:
+                    nodes = model_running.pop(killed)
+                    pool.release(killed)
+                    model_free |= set(n for n in nodes if n not in pool.down_ids())
+            else:
+                nid = rng.randrange(64)
+                was_down = nid in pool.down_ids()
+                pool.mark_up(nid)
+                held = any(nid in nodes for nodes in model_running.values())
+                if was_down and not held:
+                    model_free.add(nid)
+            assert pool.free_ids() == frozenset(model_free)
+
+    def test_release_reuses_lowest_ids(self):
+        pool = NodePool(range(8))
+        a = make_job(job_id=1, n_nodes=4)
+        b = make_job(job_id=2, n_nodes=2)
+        assert pool.allocate(a, 0.0) == (0, 1, 2, 3)
+        assert pool.allocate(b, 0.0) == (4, 5)
+        pool.release(1)
+        c = make_job(job_id=3, n_nodes=3)
+        assert pool.allocate(c, 0.0) == (0, 1, 2)
+
+    def test_stale_heap_entry_after_mark_down_is_skipped(self):
+        pool = NodePool(range(4))
+        pool.mark_down(0)  # heap still holds id 0; set does not
+        job = make_job(job_id=1, n_nodes=2)
+        assert pool.allocate(job, 0.0) == (1, 2)
+
+    def test_heap_stays_bounded_under_churn(self):
+        pool = NodePool(range(16))
+        for i in range(200):
+            job = make_job(job_id=i + 1, n_nodes=8)
+            pool.allocate(job, 0.0)
+            pool.release(job.job_id)
+        # Lazy pushes accumulate; the rebuild keeps the heap O(n_total).
+        assert len(pool._free_heap) <= 4 * pool.n_total
+        job = make_job(job_id=999, n_nodes=3)
+        assert pool.allocate(job, 0.0) == (0, 1, 2)
+
+
+class TestBelievedEndsCache:
+    def test_cache_invalidated_on_allocate_and_release(self):
+        pool = NodePool(range(10))
+        a = make_job(job_id=1, n_nodes=2, estimate=50.0)
+        pool.allocate(a, now=0.0)
+        assert pool.believed_ends() == [(50.0, 2)]
+        b = make_job(job_id=2, n_nodes=3, estimate=20.0)
+        pool.allocate(b, now=0.0)
+        assert pool.believed_ends() == [(20.0, 3), (50.0, 2)]
+        pool.release(2)
+        assert pool.believed_ends() == [(50.0, 2)]
+
+    def test_repeated_calls_return_same_list(self):
+        pool = NodePool(range(4))
+        pool.allocate(make_job(job_id=1, n_nodes=1, estimate=10.0), now=0.0)
+        first = pool.believed_ends()
+        assert pool.believed_ends() is first  # memoized between mutations

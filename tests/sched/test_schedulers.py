@@ -155,3 +155,104 @@ class TestBackfill:
             return len(policy.plan(q, pool, now=0.0))
 
         assert run(BackfillScheduler()) > run(FcfsScheduler())
+
+
+class TestSpareNodeAccounting:
+    """Regression tests for EASY spare-node double-counting.
+
+    A job admitted because it is *planned* to finish before the shadow
+    time may still hold its nodes up to the kill limit.  If that limit
+    reaches past the shadow, the spares it sits on are spoken for and
+    must come out of the ``extra_nodes`` budget — otherwise a later
+    long job re-consumes the same spares and the two encroach on the
+    head's reservation together.
+    """
+
+    def test_two_jobs_racing_for_same_spares(self):
+        pool = NodePool(range(20))
+        running = make_job(0, 10, estimate=100.0)
+        pool.allocate(running, now=0.0)  # believed end t=100
+        head = make_job(1, 16)  # shadow t=100, extra = 20 - 16 = 4
+        # Planned to finish at t=50 (before the shadow) but its kill
+        # limit reaches t=500: it may hold 4 spares past the shadow.
+        optimist = Job(
+            job_id=2,
+            name="optimist",
+            user="u",
+            n_nodes=4,
+            runtime_s=400.0,
+            user_estimate_s=500.0,
+            submit_time=0.0,
+            planned_s=50.0,
+        )
+        # Openly long; only admissible via the spare-node budget.
+        long_job = make_job(3, 4, estimate=9999.0)
+        q = queued(head, optimist, long_job)
+        started = BackfillScheduler().plan(q, pool, now=0.0)
+        # Before the fix both backfilled (8 spare nodes consumed out of
+        # a budget of 4); now the optimist's limit burns the budget.
+        assert [j.job_id for j, _ in started] == [2]
+
+    def test_limit_within_shadow_leaves_budget_intact(self):
+        pool = NodePool(range(20))
+        running = make_job(0, 10, estimate=100.0)
+        pool.allocate(running, now=0.0)
+        head = make_job(1, 16)  # extra = 4
+        # Kill limit t=50 < shadow t=100: provably returns its spares.
+        quick = make_job(2, 4, estimate=50.0)
+        long_job = make_job(3, 4, estimate=9999.0)
+        q = queued(head, quick, long_job)
+        started = BackfillScheduler().plan(q, pool, now=0.0)
+        assert [j.job_id for j, _ in started] == [2, 3]
+
+
+class TestReservationEdgeCases:
+    def test_unsatisfiable_head_yields_infinite_shadow(self):
+        pool = NodePool(range(10))
+        head = make_job(1, 50)  # larger than the whole machine
+        shadow, extra = BackfillScheduler._reservation(head, pool, now=0.0)
+        assert shadow == float("inf")
+        assert extra == 0
+
+    def test_unsatisfiable_after_down_nodes(self):
+        pool = NodePool(range(10))
+        for nid in range(4):
+            pool.mark_down(nid)
+        head = make_job(1, 8)  # only 6 serviceable nodes remain
+        shadow, extra = BackfillScheduler._reservation(head, pool, now=0.0)
+        assert shadow == float("inf")
+        assert extra == 0
+
+    def test_head_fits_exactly_at_last_believed_end(self):
+        pool = NodePool(range(10))
+        a = make_job(0, 4, estimate=50.0)
+        b = make_job(1, 6, estimate=100.0)
+        pool.allocate(a, now=0.0)
+        pool.allocate(b, now=0.0)
+        head = make_job(2, 10)  # needs every node; free only after b
+        shadow, extra = BackfillScheduler._reservation(head, pool, now=0.0)
+        assert shadow == 100.0
+        assert extra == 0
+
+    def test_zero_free_pool(self):
+        pool = NodePool(range(4))
+        running = make_job(0, 4, estimate=100.0)
+        pool.allocate(running, now=0.0)
+        head = make_job(1, 2)
+        shadow, extra = BackfillScheduler._reservation(head, pool, now=0.0)
+        assert shadow == 100.0
+        assert extra == 2
+
+    def test_zero_free_pool_plan_does_not_crash(self):
+        pool = NodePool(range(4))
+        running = make_job(0, 4, estimate=100.0)
+        pool.allocate(running, now=0.0)
+        q = queued(make_job(1, 2), make_job(2, 1, estimate=10.0))
+        assert BackfillScheduler().plan(q, pool, now=0.0) == []
+
+    def test_empty_pool(self):
+        pool = NodePool([])
+        head = make_job(1, 1)
+        shadow, extra = BackfillScheduler._reservation(head, pool, now=0.0)
+        assert shadow == float("inf")
+        assert extra == 0

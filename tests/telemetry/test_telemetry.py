@@ -82,6 +82,38 @@ class TestHistogram:
         with pytest.raises(ConfigurationError):
             Histogram("a", bounds=(2.0, 1.0))
 
+    def test_observe_many_matches_scalar_observe(self):
+        import numpy as np
+
+        values = np.array([0.5, 5.0, 50.0, 1.0, 9.999, 10.0, 1e-9, 7.25])
+        batched = Histogram("lat", bounds=(1.0, 10.0))
+        batched.observe_many(values)
+        scalar = Histogram("lat", bounds=(1.0, 10.0))
+        for v in values.tolist():
+            scalar.observe(v)
+        # Bit-identical, including the float total: observe_many must
+        # accumulate in input order, not via pairwise numpy summation.
+        assert batched.snapshot() == scalar.snapshot()
+        assert batched.total == scalar.total
+
+    def test_observe_many_empty(self):
+        import numpy as np
+
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        h.observe_many(np.array([]))
+        assert h.count == 0
+
+    def test_observe_many_then_observe_compose(self):
+        import numpy as np
+
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        h.observe_many(np.array([0.5, 5.0]))
+        h.observe(50.0)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["buckets"] == {"1.0": 1, "10.0": 1, "inf": 1}
+        assert snap["min"] == 0.5 and snap["max"] == 50.0
+
 
 class TestRegistry:
     def test_get_or_create(self):
