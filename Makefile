@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale verify-smoke lint-imports
+.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale verify-smoke sweep-smoke lint-imports
 
 ## Full tier-1 suite (the CI gate).
 test:
@@ -23,7 +23,7 @@ test-chaos:
 ## and the same seed twice must produce byte-identical reports.
 chaos-smoke:
 	$(PYTHON) -m pytest -q tests/chaos
-	$(PYTHON) -m repro.cli chaos run failure-storm --seed 7
+	$(PYTHON) -m repro.cli chaos run failure-storm flapping-node --seed 7 -j 2
 	$(PYTHON) -c "from repro.chaos import run_scenario; \
 	a = run_scenario('failure-storm', seed=7).to_text(); \
 	b = run_scenario('failure-storm', seed=7).to_text(); \
@@ -38,7 +38,7 @@ test-bench:
 ## and the same seed twice must produce byte-identical files.
 bench-smoke:
 	$(PYTHON) -m pytest -q tests/bench tests/telemetry
-	$(PYTHON) -m repro.cli bench run slurm-1024 --seed 0 --out .bench-smoke
+	$(PYTHON) -m repro.cli bench run slurm-1024 eslurm-1024 --seed 0 --out .bench-smoke -j 2
 	$(PYTHON) -m repro.cli bench validate .bench-smoke/BENCH_slurm_1024.json
 	$(PYTHON) -c "from repro.bench import run_bench; \
 	a = run_bench('slurm-1024', seed=0).to_json(); \
@@ -66,5 +66,16 @@ verify-smoke:
 	'golden payload is not seed-deterministic'; \
 	print('deterministic-digest check: OK')"
 
+## Smoke: the sweep engine must be byte-deterministic — the same small
+## matrix at -j 1 and -j 2 must write byte-identical BENCH files, and a
+## poisoned cell must be contained (nonzero exit, healthy cells done).
+sweep-smoke:
+	$(PYTHON) -m pytest -q tests/parallel
+	$(PYTHON) -m repro.cli bench run slurm-1024 eslurm-1024 --seed 0 --out .sweep-j1 -j 1
+	$(PYTHON) -m repro.cli bench run slurm-1024 eslurm-1024 --seed 0 --out .sweep-j2 -j 2
+	diff -r .sweep-j1 .sweep-j2
+	@echo "sweep determinism check: OK (-j 1 == -j 2, byte for byte)"
+	rm -rf .sweep-j1 .sweep-j2
+
 lint-imports:
-	$(PYTHON) -c "import repro, repro.api, repro.bench, repro.chaos, repro.oracle, repro.telemetry, repro.cli"
+	$(PYTHON) -c "import repro, repro.api, repro.bench, repro.chaos, repro.oracle, repro.parallel, repro.telemetry, repro.cli"

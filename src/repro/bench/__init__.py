@@ -8,6 +8,7 @@
 
 from repro.bench.paper_scale import (
     BASELINE_PATH,
+    DEFAULT_BEST_OF,
     DEFAULT_TOLERANCE,
     TierComparison,
     build_baseline,
@@ -18,11 +19,22 @@ from repro.bench.paper_scale import (
 from repro.bench.report import render_markdown, render_text
 from repro.bench.runner import (
     BenchResult,
+    MatrixSweep,
     load_bench_file,
     profile_bench,
     run_bench,
     run_matrix,
+    run_matrix_sweep,
     write_bench_file,
+)
+from repro.bench.sweep import (
+    SWEEP_PATH,
+    SWEEP_SCHEMA,
+    dump_sweep,
+    load_sweep,
+    render_sweep,
+    run_sweep_baseline,
+    sweep_digest,
 )
 from repro.bench.scenarios import (
     PAPER_FULL_SCENARIO,
@@ -37,6 +49,7 @@ from repro.bench.schema import SCHEMA, is_deterministic_metric, validate_payload
 
 __all__ = [
     "BASELINE_PATH",
+    "DEFAULT_BEST_OF",
     "DEFAULT_TOLERANCE",
     "PAPER_FULL_SCENARIO",
     "PAPER_SCALE",
@@ -44,21 +57,30 @@ __all__ = [
     "SCENARIOS",
     "SMOKE_SCENARIO",
     "SCHEMA",
+    "SWEEP_PATH",
+    "SWEEP_SCHEMA",
     "BenchResult",
     "BenchScenario",
+    "MatrixSweep",
     "TierComparison",
     "build_baseline",
     "compare_baseline",
     "dump_baseline",
+    "dump_sweep",
     "get_scenario",
     "is_deterministic_metric",
     "load_baseline",
     "load_bench_file",
+    "load_sweep",
     "profile_bench",
     "render_markdown",
+    "render_sweep",
     "render_text",
     "run_bench",
     "run_matrix",
+    "run_matrix_sweep",
+    "run_sweep_baseline",
+    "sweep_digest",
     "validate_payload",
     "write_bench_file",
 ]

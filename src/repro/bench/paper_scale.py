@@ -33,6 +33,12 @@ BASELINE_PATH = "benchmarks/BENCH_paper_scale.json"
 #: wall-time regression tolerance the CI smoke uses
 DEFAULT_TOLERANCE = 0.25
 
+#: wall-fence attempts: a tier whose *first* wall is over the fence is
+#: re-run and judged on the best of this many runs, so a transiently
+#: loaded host cannot trip the fence spuriously (deterministic anchors
+#: are still compared on the first run only — they cannot flake)
+DEFAULT_BEST_OF = 3
+
 
 def build_baseline(results: t.Sequence[BenchResult]) -> dict[str, t.Any]:
     """Baseline payload from freshly-run tier results."""
@@ -95,12 +101,8 @@ class TierComparison:
         )
 
 
-def compare_tier(
-    tier: dict[str, t.Any],
-    result: BenchResult,
-    tolerance: float = DEFAULT_TOLERANCE,
-) -> TierComparison:
-    """Judge one fresh result against its baseline tier."""
+def _check_anchors(tier: dict[str, t.Any], result: BenchResult) -> tuple[bool, list[str]]:
+    """Deterministic-anchor verdict (first run only; cannot flake)."""
     notes: list[str] = []
     ok = True
     if result.seed == tier["seed"]:
@@ -115,22 +117,48 @@ def compare_tier(
     else:
         notes.append(f"seed differs (baseline {tier['seed']}, fresh {result.seed}): "
                      "determinism anchors skipped")
+    return ok, notes
+
+
+def _judge_walls(
+    tier: dict[str, t.Any], walls: t.Sequence[float], tolerance: float
+) -> tuple[bool, float, list[str]]:
+    """Wall-fence verdict on the best (minimum) of the recorded walls."""
+    notes: list[str] = []
     baseline_wall = float(tier["host_wall_s"])
     limit = baseline_wall * (1.0 + tolerance)
-    if result.host_wall_s > limit:
-        ok = False
+    best_wall = min(walls)
+    ok = best_wall <= limit
+    if not ok:
+        best_of = f"best of {len(walls)} runs " if len(walls) > 1 else ""
         notes.append(
-            f"wall regression: {result.host_wall_s:.2f}s > {limit:.2f}s "
+            f"wall regression: {best_of}{best_wall:.2f}s > {limit:.2f}s "
             f"(baseline {baseline_wall:.2f}s +{tolerance:.0%})"
         )
-    elif result.host_wall_s < baseline_wall * (1.0 - tolerance):
+    elif len(walls) > 1:
+        notes.append(
+            f"wall within fence on best of {len(walls)} runs "
+            f"(first run {walls[0]:.2f}s was over — host load, not a regression)"
+        )
+    elif best_wall < baseline_wall * (1.0 - tolerance):
         notes.append("faster than baseline beyond tolerance — consider re-recording")
+    return ok, best_wall, notes
+
+
+def compare_tier(
+    tier: dict[str, t.Any],
+    result: BenchResult,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> TierComparison:
+    """Judge one fresh result against its baseline tier (single run)."""
+    anchors_ok, notes = _check_anchors(tier, result)
+    wall_ok, best_wall, wall_notes = _judge_walls(tier, [result.host_wall_s], tolerance)
     return TierComparison(
         name=result.scenario.name,
-        ok=ok,
-        baseline_wall_s=baseline_wall,
-        fresh_wall_s=result.host_wall_s,
-        notes=notes,
+        ok=anchors_ok and wall_ok,
+        baseline_wall_s=float(tier["host_wall_s"]),
+        fresh_wall_s=best_wall,
+        notes=notes + wall_notes,
     )
 
 
@@ -140,8 +168,15 @@ def compare_baseline(
     seed: int | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
     progress: t.Callable[[str], None] | None = None,
+    best_of: int = DEFAULT_BEST_OF,
 ) -> list[TierComparison]:
     """Re-run tiers fresh and compare each against the baseline.
+
+    The wall fence is judged on the best of up to ``best_of`` runs:
+    extra runs happen only when the first one lands over the fence, so
+    the happy path stays one run per tier while a loaded host gets two
+    more chances before the verdict is a regression.  Deterministic
+    anchors are compared on the first run only.
 
     Args:
         baseline: payload from :func:`load_baseline`.
@@ -149,6 +184,7 @@ def compare_baseline(
         seed: override the per-tier recording seed (skips exact anchors).
         tolerance: wall-time regression allowance.
         progress: per-tier status callback.
+        best_of: maximum wall-fence attempts per tier (min 1).
     """
     tiers = baseline["tiers"]
     chosen = list(tiers) if names is None else list(names)
@@ -161,8 +197,26 @@ def compare_baseline(
             )
         if name not in PAPER_SCALE:
             raise ConfigurationError(f"tier {name!r} is not a paper-scale scenario")
-        result = run_bench(name, seed=tier["seed"] if seed is None else seed)
-        comparison = compare_tier(tier, result, tolerance=tolerance)
+        run_seed = tier["seed"] if seed is None else seed
+        result = run_bench(name, seed=run_seed)
+        anchors_ok, anchor_notes = _check_anchors(tier, result)
+        walls = [result.host_wall_s]
+        limit = float(tier["host_wall_s"]) * (1.0 + tolerance)
+        while min(walls) > limit and len(walls) < max(1, best_of):
+            if progress is not None:
+                progress(
+                    f"[....] {name:<14} wall {walls[-1]:7.2f}s over fence — "
+                    f"re-running ({len(walls) + 1}/{max(1, best_of)})"
+                )
+            walls.append(run_bench(name, seed=run_seed).host_wall_s)
+        wall_ok, best_wall, wall_notes = _judge_walls(tier, walls, tolerance)
+        comparison = TierComparison(
+            name=name,
+            ok=anchors_ok and wall_ok,
+            baseline_wall_s=float(tier["host_wall_s"]),
+            fresh_wall_s=best_wall,
+            notes=anchor_notes + wall_notes,
+        )
         if progress is not None:
             progress(comparison.line())
         comparisons.append(comparison)

@@ -139,11 +139,100 @@ def write_bench_file(result: BenchResult, out_dir: str | Path = ".") -> Path:
     return path
 
 
+@dataclass
+class MatrixSweep:
+    """Outcome of one (possibly parallel) run over the scenario matrix."""
+
+    results: list[BenchResult]
+    #: failed cells (crash-contained; the rest of the sweep completed)
+    failures: list["TaskResult"]
+    jobs: int
+    wall_s: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def merged_telemetry(self) -> dict[str, dict[str, t.Any]]:
+        """Cross-run telemetry aggregation, folded in matrix order.
+
+        Counters sum and histograms fold element-wise (order-free);
+        gauges fold last-write by matrix position — so the merge is a
+        pure function of the scenario list, identical at any ``-j``.
+        """
+        from repro.parallel.merge import merge_snapshots
+
+        return merge_snapshots([r.payload for r in self.results])
+
+
+def _result_from_cell(value: dict[str, t.Any]) -> BenchResult:
+    """Rebuild a :class:`BenchResult` from a sweep cell's plain dict."""
+    return BenchResult(
+        scenario=get_scenario(value["scenario"]),
+        seed=value["seed"],
+        payload=value["payload"],
+        host_wall_s=value["host_wall_s"],
+        host_metrics=value["host_metrics"],
+    )
+
+
+def run_matrix_sweep(
+    names: t.Sequence[str] | None = None,
+    seed: int = 0,
+    out_dir: str | Path | None = None,
+    progress: t.Callable[[str], None] | None = None,
+    jobs: int = 1,
+) -> MatrixSweep:
+    """Run scenarios as a sweep; failed cells are contained, not fatal.
+
+    ``jobs=1`` executes inline — the serial path; ``jobs>1`` fans the
+    cells out over spawn-based workers.  Either way the returned
+    results sit in matrix order and each ``BENCH_*.json`` is
+    byte-identical to what a serial run writes, because every cell is
+    a fully seeded, self-contained simulation.
+    """
+    from repro.parallel.pool import Task, TaskResult, run_tasks
+
+    chosen = list(SCENARIOS) if names is None else list(names)
+    for name in chosen:
+        get_scenario(name)  # fail fast on unknown names, pre-spawn
+    tasks = [
+        Task(id=name, kind="bench", spec={"scenario": name, "seed": seed})
+        for name in chosen
+    ]
+
+    def on_cell(task_result: TaskResult) -> None:
+        if task_result.ok:
+            result = _result_from_cell(task_result.value)
+            where = ""
+            if out_dir is not None:
+                where = f" -> {write_bench_file(result, out_dir)}"
+            if progress is not None:
+                progress(
+                    f"{result.scenario.name:<24} {result.payload['events']:>9} events  "
+                    f"host {result.host_wall_s:7.2f}s{where}"
+                )
+        elif progress is not None:
+            progress(f"{task_result.task_id:<24} FAILED after "
+                     f"{task_result.attempts} attempt(s)")
+
+    start = time.perf_counter()
+    outcomes = run_tasks(tasks, jobs=jobs, progress=on_cell)
+    wall_s = time.perf_counter() - start
+    return MatrixSweep(
+        results=[_result_from_cell(o.value) for o in outcomes if o.ok],
+        failures=[o for o in outcomes if not o.ok],
+        jobs=jobs,
+        wall_s=wall_s,
+    )
+
+
 def run_matrix(
     names: t.Sequence[str] | None = None,
     seed: int = 0,
     out_dir: str | Path | None = None,
     progress: t.Callable[[str], None] | None = None,
+    jobs: int = 1,
 ) -> list[BenchResult]:
     """Run scenarios (all by default), optionally writing their files.
 
@@ -152,23 +241,25 @@ def run_matrix(
         seed: master seed for every run.
         out_dir: where to write ``BENCH_*.json`` (``None`` skips writing).
         progress: per-scenario status callback (e.g. ``print``).
+        jobs: sweep worker processes (1 = inline serial path, 0 = cpu
+            autodetect); see :func:`run_matrix_sweep`.
+
+    Raises:
+        SweepError: when any cell failed even after its retry (use
+            :func:`run_matrix_sweep` to get partial results instead).
     """
-    chosen = list(SCENARIOS) if names is None else list(names)
-    results = []
-    for name in chosen:
-        result = run_bench(name, seed=seed)
-        if out_dir is not None:
-            path = write_bench_file(result, out_dir)
-            where = f" -> {path}"
-        else:
-            where = ""
-        if progress is not None:
-            progress(
-                f"{name:<24} {result.payload['events']:>9} events  "
-                f"host {result.host_wall_s:7.2f}s{where}"
-            )
-        results.append(result)
-    return results
+    from repro.parallel.pool import SweepError
+
+    sweep = run_matrix_sweep(
+        names=names, seed=seed, out_dir=out_dir, progress=progress, jobs=jobs
+    )
+    if not sweep.ok:
+        details = "; ".join(
+            f"{f.task_id}: {(f.error or 'unknown').splitlines()[-1]}"
+            for f in sweep.failures
+        )
+        raise SweepError(f"{len(sweep.failures)} bench cell(s) failed — {details}")
+    return sweep.results
 
 
 def load_bench_file(path: str | Path) -> dict[str, t.Any]:

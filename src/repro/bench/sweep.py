@@ -1,0 +1,130 @@
+"""The sweep-scaling artifact (``benchmarks/BENCH_sweep.json``).
+
+The matrix bench files freeze per-scenario simulation payloads; the
+paper-scale baseline freezes single-run wall times.  This module owns
+the third artifact: one file recording the wall time of the *whole*
+scenario matrix at several ``--jobs`` levels, with the serial run as
+the baseline — the scaling curve of the sweep engine itself — plus a
+digest proving the merged payloads were byte-identical at every level.
+``repro bench sweep`` records it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import typing as t
+from pathlib import Path
+
+from repro.bench.runner import MatrixSweep, run_matrix_sweep
+from repro.bench.scenarios import SCENARIOS
+from repro.errors import ConfigurationError
+
+SWEEP_SCHEMA = "repro-bench-sweep/1"
+
+#: repo-relative location of the checked-in sweep-scaling file
+SWEEP_PATH = "benchmarks/BENCH_sweep.json"
+
+#: jobs levels the scaling table records (serial baseline first)
+DEFAULT_JOBS_LEVELS = (1, 2, 4)
+
+
+def sweep_digest(sweep: MatrixSweep) -> str:
+    """SHA-256 over the concatenated canonical payload bytes, in matrix
+    order — equal digests mean byte-identical ``BENCH_*.json`` files."""
+    digest = hashlib.sha256()
+    for result in sweep.results:
+        digest.update(result.to_json().encode())
+    return digest.hexdigest()
+
+
+def run_sweep_baseline(
+    jobs_levels: t.Sequence[int] = DEFAULT_JOBS_LEVELS,
+    names: t.Sequence[str] | None = None,
+    seed: int = 0,
+    progress: t.Callable[[str], None] | None = None,
+) -> dict[str, t.Any]:
+    """Run the matrix at each jobs level; return the scaling payload.
+
+    The serial level (``jobs=1``) must be present — it is the baseline
+    every speedup is computed against.  Each level's merged output is
+    digest-checked against the serial run; a mismatch is a determinism
+    bug and raises.
+    """
+    levels = list(dict.fromkeys(int(j) for j in jobs_levels))
+    if 1 not in levels:
+        levels.insert(0, 1)
+    levels.sort()
+    chosen = list(SCENARIOS) if names is None else list(names)
+    runs: dict[str, t.Any] = {}
+    serial_digest: str | None = None
+    serial_wall: float | None = None
+    for jobs in levels:
+        if progress is not None:
+            progress(f"-- sweep at jobs={jobs} ({len(chosen)} scenarios)")
+        start = time.perf_counter()
+        sweep = run_matrix_sweep(names=chosen, seed=seed, jobs=jobs, progress=progress)
+        wall_s = time.perf_counter() - start
+        if not sweep.ok:
+            failed = [f.task_id for f in sweep.failures]
+            raise ConfigurationError(f"sweep at jobs={jobs} had failed cells: {failed}")
+        digest = sweep_digest(sweep)
+        counters = sweep.merged_telemetry()["counters"]
+        if jobs == 1:
+            serial_digest, serial_wall = digest, wall_s
+        elif digest != serial_digest:
+            raise ConfigurationError(
+                f"sweep at jobs={jobs} is not byte-identical to the serial run "
+                f"({digest[:12]} != {(serial_digest or '')[:12]})"
+            )
+        runs[str(jobs)] = {
+            "wall_s": round(wall_s, 3),
+            "speedup_vs_serial": round((serial_wall or wall_s) / wall_s, 3)
+            if wall_s
+            else 0.0,
+            "digest": digest,
+            "events_total": int(counters.get("sim.events", 0)),
+        }
+    return {
+        "schema": SWEEP_SCHEMA,
+        "seed": seed,
+        "scenarios": chosen,
+        "host_cpus": os.cpu_count(),
+        "runs": runs,
+    }
+
+
+def dump_sweep(payload: dict[str, t.Any]) -> str:
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def load_sweep(path: str | Path) -> dict[str, t.Any]:
+    """Read + sanity-check a sweep-scaling file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != SWEEP_SCHEMA:
+        raise ConfigurationError(
+            f"{path}: expected schema {SWEEP_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    runs = payload.get("runs")
+    if not isinstance(runs, dict) or "1" not in runs:
+        raise ConfigurationError(f"{path}: sweep file has no serial (jobs=1) run")
+    return payload
+
+
+def render_sweep(payload: dict[str, t.Any]) -> str:
+    """The jobs/wall/speedup scaling table (also the README table)."""
+    lines = [
+        f"sweep scaling — {len(payload['scenarios'])} scenarios, "
+        f"seed {payload['seed']}, {payload['host_cpus']} host cpu(s)",
+        f"{'jobs':>6}  {'wall_s':>9}  {'speedup':>8}  byte-identical",
+    ]
+    serial = payload["runs"]["1"]
+    for jobs in sorted(payload["runs"], key=int):
+        run = payload["runs"][jobs]
+        identical = "yes" if run["digest"] == serial["digest"] else "NO"
+        lines.append(
+            f"{jobs:>6}  {run['wall_s']:>9.2f}  {run['speedup_vs_serial']:>7.2f}x  {identical}"
+        )
+    return "\n".join(lines)

@@ -6,7 +6,15 @@ invariants are checked after every event.  See ``repro chaos run`` for
 the CLI and ``tests/chaos`` for the enforced acceptance properties.
 """
 
-from repro.chaos.campaign import ddmin, run_scenario, shrink_schedule
+from repro.chaos.campaign import (
+    CampaignCell,
+    CampaignOutcome,
+    campaign_cell_id,
+    ddmin,
+    run_campaign,
+    run_scenario,
+    shrink_schedule,
+)
 from repro.chaos.invariants import (
     ChaosContext,
     Eq1Correctness,
@@ -24,6 +32,8 @@ from repro.chaos.scenarios import SCENARIOS, ChaosScenario, ScheduledFault, get_
 
 __all__ = [
     "SCENARIOS",
+    "CampaignCell",
+    "CampaignOutcome",
     "ChaosContext",
     "ChaosReport",
     "ChaosScenario",
@@ -36,9 +46,11 @@ __all__ = [
     "ScheduledFault",
     "SchedulerConservation",
     "Violation",
+    "campaign_cell_id",
     "ddmin",
     "default_invariants",
     "get_scenario",
+    "run_campaign",
     "run_scenario",
     "shrink_schedule",
 ]

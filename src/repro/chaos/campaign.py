@@ -15,6 +15,7 @@ the seed.
 from __future__ import annotations
 
 import typing as t
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -115,6 +116,148 @@ def run_scenario(
         invariant_counts=registry.counts(),
         violations=tuple(registry.violations),
         schedule=tuple(schedule),
+    )
+
+
+# ---------------------------------------------------------------------------
+# multi-scenario / multi-seed campaigns (the sweep surface)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (scenario, seed) cell of a campaign grid, post-run."""
+
+    scenario: str
+    seed: int
+    ok: bool
+    total_violations: int
+    #: ``asdict`` form of the :class:`ChaosReport` (JSON-able)
+    report: dict[str, t.Any]
+    #: the report's canonical ``to_text()`` rendering
+    text: str
+
+
+@dataclass
+class CampaignOutcome:
+    """A whole campaign grid: cells in grid order plus contained failures."""
+
+    cells: list[CampaignCell]
+    #: cells that crashed or errored even after retry (grid completed anyway)
+    failures: list["TaskResult"]
+    jobs: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and all(cell.ok for cell in self.cells)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(cell.total_violations for cell in self.cells)
+
+    def merged_invariant_counts(self) -> dict[str, int]:
+        """Invariant hit-counts summed across every cell (order-free)."""
+        from repro.parallel.merge import merge_counter_maps
+
+        return {
+            name: int(count)
+            for name, count in merge_counter_maps(
+                dict(cell.report["invariant_counts"]) for cell in self.cells
+            ).items()
+        }
+
+    def to_text(self) -> str:
+        """Canonical rendering: per-cell reports in grid order + summary."""
+        blocks = [cell.text for cell in self.cells]
+        blocks.append(self.summary_text())
+        return "\n\n".join(blocks)
+
+    def summary_text(self) -> str:
+        lines = [
+            f"campaign: {len(self.cells)} run(s), "
+            f"{self.total_violations} violation(s), "
+            f"{len(self.failures)} crashed cell(s)",
+        ]
+        for name, count in sorted(self.merged_invariant_counts().items()):
+            lines.append(f"  {name:<24} {count}")
+        for failure in self.failures:
+            detail = (failure.error or "unknown").splitlines()[-1]
+            lines.append(f"  CRASHED {failure.task_id}: {detail}")
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict[str, t.Any]:
+        return {
+            "ok": self.ok,
+            "n_cells": len(self.cells),
+            "total_violations": self.total_violations,
+            "invariant_counts": self.merged_invariant_counts(),
+            "failures": [
+                {"cell": f.task_id, "error": (f.error or "").splitlines()[-1:]}
+                for f in self.failures
+            ],
+            "reports": [cell.report for cell in self.cells],
+        }
+
+
+def campaign_cell_id(scenario: str, seed: int) -> str:
+    return f"{scenario}@s{seed}"
+
+
+def run_campaign(
+    scenarios: t.Sequence[str],
+    seeds: t.Sequence[int] = (0,),
+    jobs: int = 1,
+    progress: t.Callable[[str], None] | None = None,
+) -> CampaignOutcome:
+    """Run the scenario × seed grid; every cell is crash-contained.
+
+    ``jobs=1`` executes the grid inline in scenario-major, seed-minor
+    order — exactly a loop over :func:`run_scenario`; ``jobs>1`` fans
+    the same cells out over spawn-based workers and merges results back
+    into grid order, so the rendered output and JSON payload are
+    byte-identical either way.  (Custom invariant factories are a
+    single-run affair — they cannot cross a process boundary — so grid
+    cells always run the default invariant set.)
+    """
+    from repro.parallel.pool import Task, TaskResult, run_tasks
+
+    for name in scenarios:
+        get_scenario(name)  # fail fast on unknown names, pre-spawn
+    tasks = [
+        Task(
+            id=campaign_cell_id(name, seed),
+            kind="chaos",
+            spec={"scenario": name, "seed": int(seed)},
+        )
+        for name in scenarios
+        for seed in seeds
+    ]
+
+    def on_cell(result: TaskResult) -> None:
+        if progress is None:
+            return
+        if result.ok:
+            v = result.value["total_violations"]
+            verdict = "ok" if result.value["ok"] else f"{v} violation(s)"
+            progress(f"{result.task_id:<32} {verdict}  ({result.wall_s:.2f}s)")
+        else:
+            progress(f"{result.task_id:<32} CRASHED after {result.attempts} attempt(s)")
+
+    outcomes = run_tasks(tasks, jobs=jobs, progress=on_cell)
+    cells = [
+        CampaignCell(
+            scenario=o.value["scenario"],
+            seed=o.value["seed"],
+            ok=o.value["ok"],
+            total_violations=o.value["total_violations"],
+            report=o.value["report"],
+            text=o.value["text"],
+        )
+        for o in outcomes
+        if o.ok
+    ]
+    return CampaignOutcome(
+        cells=cells,
+        failures=[o for o in outcomes if not o.ok],
+        jobs=jobs,
     )
 
 

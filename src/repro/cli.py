@@ -5,10 +5,12 @@ Installed as ``repro-eslurm`` (alias ``repro``)::
     repro --version
     repro list                      # paper experiments
     repro fig7 --quick
-    repro all --quick
+    repro all --quick -j 4          # experiment grid on 4 workers
 
     repro bench list                # perf-benchmark matrix + paper tiers
     repro bench run --all --seed 0
+    repro bench run --all -j 4      # parallel sweep, byte-identical files
+    repro bench sweep               # record benchmarks/BENCH_sweep.json scaling
     repro bench --profile           # cProfile the 16K-node paper scenario
     repro bench report BENCH_*.json --markdown
     repro bench validate BENCH_*.json
@@ -17,16 +19,22 @@ Installed as ``repro-eslurm`` (alias ``repro``)::
 
     repro chaos list                # invariant-checked failure campaigns
     repro chaos run failure-storm --seed 7 --json
+    repro chaos run failure-storm flapping-node --seeds 3 -j 4
 
     repro verify --seed 42          # differential + metamorphic + golden oracles
+    repro verify --seed 42 --seeds 5 -j 4
     repro verify run --update-golden
     repro verify list               # the relation catalogue
     repro bench check BENCH_*.json  # judge bench files against the relations
 
 ``bench``, ``chaos``, and ``verify`` are registered through the same
 :class:`Subcommand` pattern and share the ``--seed`` / ``--json`` /
-``--out`` flags, so new tool families plug in by adding a table entry.
-Every checking verb exits nonzero when any check fails.
+``--out`` flags plus the sweep-parallelism flag ``-j/--jobs`` (default
+1 = the serial path, ``-j 0`` = cpu autodetect; sweeps fan out over
+spawn-based workers via :mod:`repro.parallel` and merge results keyed
+by task id, so output is byte-identical at any ``-j``).  New tool
+families plug in by adding a table entry.  Every checking verb exits
+nonzero when any check fails.
 """
 
 from __future__ import annotations
@@ -61,6 +69,17 @@ def add_common_flags(
     parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     parser.add_argument("--out", default=None, help=out_help)
+
+
+def add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared sweep-parallelism flag (``repro <family> ... -j N``)."""
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default 1 = serial; 0 = cpu autodetect)",
+    )
 
 
 def dispatch(
@@ -115,10 +134,11 @@ def _bench_run_configure(parser: argparse.ArgumentParser) -> None:
         "(defaults to the 16K-node paper-scale scenario; skips file output)",
     )
     add_common_flags(parser, out_help="directory for BENCH_*.json files (default: cwd)")
+    add_jobs_flag(parser)
 
 
 def _bench_run(args: argparse.Namespace) -> int:
-    from repro.bench import PAPER_FULL_SCENARIO, profile_bench, run_matrix
+    from repro.bench import PAPER_FULL_SCENARIO, profile_bench
 
     if args.profile:
         if args.all:
@@ -138,20 +158,29 @@ def _bench_run(args: argparse.Namespace) -> int:
         return 0
     if args.all == bool(args.names):
         args._parser.error("pass scenario names or --all (not both)")
+    from repro.bench import run_matrix_sweep
+
     names = None if args.all else args.names
     out_dir = args.out if args.out is not None else "."
     try:
-        results = run_matrix(
+        sweep = run_matrix_sweep(
             names=names,
             seed=args.seed,
             out_dir=out_dir,
             progress=None if args.json else print,
+            jobs=args.jobs,
         )
     except Exception as exc:
         args._parser.error(str(exc))
     if args.json:
-        print(json.dumps([r.payload for r in results], sort_keys=True, indent=2))
-    return 0
+        print(json.dumps([r.payload for r in sweep.results], sort_keys=True, indent=2))
+    for failure in sweep.failures:
+        print(
+            f"bench cell {failure.task_id} FAILED after {failure.attempts} attempt(s): "
+            f"{(failure.error or 'unknown').splitlines()[-1]}",
+            file=sys.stderr,
+        )
+    return 0 if sweep.ok else 1
 
 
 def _bench_baseline_configure(parser: argparse.ArgumentParser) -> None:
@@ -217,14 +246,28 @@ def _bench_compare_configure(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="wall-time regression allowance as a fraction (default 0.25)",
     )
+    parser.add_argument(
+        "--best-of",
+        type=int,
+        default=None,
+        help="wall-fence attempts per tier — a first run over the fence is "
+        "re-run and judged on the best wall (default 3; 1 = single run)",
+    )
     add_common_flags(parser)
 
 
 def _bench_compare(args: argparse.Namespace) -> int:
-    from repro.bench import BASELINE_PATH, DEFAULT_TOLERANCE, compare_baseline, load_baseline
+    from repro.bench import (
+        BASELINE_PATH,
+        DEFAULT_BEST_OF,
+        DEFAULT_TOLERANCE,
+        compare_baseline,
+        load_baseline,
+    )
 
     path = args.baseline if args.baseline is not None else BASELINE_PATH
     tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    best_of = args.best_of if args.best_of is not None else DEFAULT_BEST_OF
     try:
         baseline = load_baseline(path)
         comparisons = compare_baseline(
@@ -232,6 +275,7 @@ def _bench_compare(args: argparse.Namespace) -> int:
             names=args.names,
             tolerance=tolerance,
             progress=None if args.json else print,
+            best_of=best_of,
         )
     except Exception as exc:
         args._parser.error(str(exc))
@@ -255,6 +299,50 @@ def _bench_compare(args: argparse.Namespace) -> int:
             f"±{tolerance:.0%} of {path}"
         )
     return 1 if failed else 0
+
+
+def _bench_sweep_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="scenario subset to sweep (default: the whole 12-scenario matrix)",
+    )
+    parser.add_argument(
+        "--jobs-levels",
+        default="1,2,4",
+        help="comma-separated jobs levels for the scaling table (default 1,2,4; "
+        "the serial level 1 is always included as the baseline)",
+    )
+    add_common_flags(
+        parser, out_help="sweep file path (default: benchmarks/BENCH_sweep.json)"
+    )
+
+
+def _bench_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import SWEEP_PATH, dump_sweep, render_sweep, run_sweep_baseline
+
+    try:
+        levels = [int(part) for part in str(args.jobs_levels).split(",") if part.strip()]
+        payload = run_sweep_baseline(
+            jobs_levels=levels,
+            names=args.names or None,
+            seed=args.seed,
+            progress=None if args.json else print,
+        )
+    except Exception as exc:
+        args._parser.error(str(exc))
+    text = dump_sweep(payload)
+    if args.json:
+        print(text, end="")
+    else:
+        print(render_sweep(payload))
+    path = Path(args.out if args.out is not None else SWEEP_PATH)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    print(f"sweep scaling written -> {path}")
+    return 0
 
 
 def _bench_files_configure(parser: argparse.ArgumentParser) -> None:
@@ -331,6 +419,10 @@ BENCH_COMMANDS = (
         "compare", "re-run paper-scale tiers against the checked-in baseline",
         _bench_compare_configure, _bench_compare,
     ),
+    Subcommand(
+        "sweep", "record the matrix sweep-scaling file (jobs=1/2/4 walls + digests)",
+        _bench_sweep_configure, _bench_sweep,
+    ),
 )
 
 
@@ -346,22 +438,54 @@ def _chaos_list(args: argparse.Namespace) -> int:
 
 
 def _chaos_run_configure(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("scenario", help="scenario name (see 'repro chaos list')")
+    parser.add_argument(
+        "scenarios", nargs="+", metavar="scenario",
+        help="scenario name(s) (see 'repro chaos list'); several names plus "
+        "--seeds form a campaign grid",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="run each scenario at this many consecutive seeds starting at "
+        "--seed (default 1)",
+    )
     parser.add_argument(
         "--shrink",
         action="store_true",
-        help="on violation, ddmin-minimise the fault schedule and print it",
+        help="on violation, ddmin-minimise the fault schedule and print it "
+        "(single scenario/seed runs only)",
     )
     add_common_flags(parser)
+    add_jobs_flag(parser)
 
 
 def _chaos_run(args: argparse.Namespace) -> int:
-    from repro.chaos import get_scenario, run_scenario, shrink_schedule
+    from repro.chaos import get_scenario, run_campaign, run_scenario, shrink_schedule
 
     try:
-        scenario = get_scenario(args.scenario)
+        for name in args.scenarios:
+            get_scenario(name)
     except Exception as exc:
         args._parser.error(str(exc))
+    if args.seeds < 1:
+        args._parser.error("--seeds must be >= 1")
+    multi = len(args.scenarios) > 1 or args.seeds > 1
+    if multi:
+        if args.shrink:
+            args._parser.error("--shrink applies to a single scenario/seed run")
+        outcome = run_campaign(
+            args.scenarios,
+            seeds=range(args.seed, args.seed + args.seeds),
+            jobs=args.jobs,
+            progress=None if args.json or args.out else print,
+        )
+        if args.json:
+            _emit(json.dumps(outcome.to_payload(), sort_keys=True, indent=2), args.out)
+        else:
+            _emit(outcome.to_text(), args.out)
+        return 0 if outcome.ok else 1
+    scenario = get_scenario(args.scenarios[0])
     report = run_scenario(scenario, seed=args.seed)
     if args.json:
         _emit(json.dumps(asdict(report), sort_keys=True, indent=2), args.out)
@@ -424,18 +548,54 @@ def _verify_run_configure(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--golden-dir", default=None, help="golden trace directory (default: tests/golden)"
     )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="sweep this many consecutive seeds starting at --seed (default 1)",
+    )
     add_common_flags(parser)
+    add_jobs_flag(parser)
 
 
 def _verify_run(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.oracle.verify import LAYERS, run_verify
+    from repro.oracle.verify import LAYERS, run_verify, run_verify_sweep
 
+    if args.seeds < 1:
+        args._parser.error("--seeds must be >= 1")
+    layers = tuple(args.layer) if args.layer else LAYERS
+    golden_dir = Path(args.golden_dir) if args.golden_dir else None
+    if args.seeds > 1 or args.jobs != 1:
+        if args.update_golden:
+            args._parser.error(
+                "--update-golden rewrites shared files and must run serially "
+                "(drop --seeds/-j)"
+            )
+        sweep = run_verify_sweep(
+            seeds=range(args.seed, args.seed + args.seeds),
+            layers=layers,
+            golden_dir=golden_dir,
+            jobs=args.jobs,
+            progress=None if args.json or args.out else print,
+        )
+        if args.json:
+            _emit(json.dumps(sweep.to_payload(), sort_keys=True, indent=2), args.out)
+        elif args.out:
+            _emit(sweep.to_text(), args.out)
+        else:
+            held = sum(len(r.results) - r.n_failed for r in sweep.reports)
+            total = sum(len(r.results) for r in sweep.reports)
+            print(
+                f"verify sweep: {'OK' if sweep.ok else 'FAIL'} — {held}/{total} "
+                f"relations held over {args.seeds} seed(s)"
+            )
+        return 0 if sweep.ok else 1
     report = run_verify(
         seed=args.seed,
-        layers=tuple(args.layer) if args.layer else LAYERS,
-        golden_dir=Path(args.golden_dir) if args.golden_dir else None,
+        layers=layers,
+        golden_dir=golden_dir,
         update_golden=args.update_golden,
         progress=None if args.json or args.out else print,
     )
@@ -601,17 +761,40 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         action="store_true",
         help="scaled-down cluster sizes (seconds instead of hours)",
     )
+    add_jobs_flag(parser)
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
         return 0
+    from repro.parallel.pool import Task, TaskResult, run_tasks
+
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(f"==== {name} ====")
-        print(EXPERIMENTS[name](args.quick))
+    tasks = [
+        Task(id=name, kind="experiment", spec={"name": name, "quick": args.quick})
+        for name in names
+    ]
+
+    def print_block(outcome: TaskResult) -> None:
+        print(f"==== {outcome.task_id} ====")
+        if outcome.ok:
+            print(outcome.value["text"])
+        else:
+            print(f"FAILED after {outcome.attempts} attempt(s):")
+            print(outcome.error)
         print()
-    return 0
+
+    # Serial runs stream each experiment as it finishes (inline execution
+    # preserves order); parallel runs buffer and re-emit in catalogue
+    # order so the merged output is byte-identical to the serial one.
+    streaming = args.jobs == 1
+    outcomes = run_tasks(
+        tasks, jobs=args.jobs, progress=print_block if streaming else None
+    )
+    if not streaming:
+        for outcome in outcomes:
+            print_block(outcome)
+    return 1 if any(not o.ok for o in outcomes) else 0
 
 
 if __name__ == "__main__":

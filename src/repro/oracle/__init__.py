@@ -38,7 +38,13 @@ from repro.oracle.relations import (
     check_bench_payloads,
     relations_table,
 )
-from repro.oracle.verify import LAYERS, VerifyReport, run_verify
+from repro.oracle.verify import (
+    LAYERS,
+    SweepVerifyReport,
+    VerifyReport,
+    run_verify,
+    run_verify_sweep,
+)
 
 __all__ = [
     "GOLDEN_SCENARIOS",
@@ -58,6 +64,8 @@ __all__ = [
     "check_bench_payloads",
     "relations_table",
     "LAYERS",
+    "SweepVerifyReport",
     "VerifyReport",
     "run_verify",
+    "run_verify_sweep",
 ]

@@ -109,3 +109,125 @@ def run_verify(
         for result in check_golden(golden_dir):
             record(result)
     return report
+
+
+# ---------------------------------------------------------------------------
+# seed sweeps (the parallel surface)
+# ---------------------------------------------------------------------------
+@dataclass
+class SweepVerifyReport:
+    """A seed sweep: one :class:`VerifyReport` per seed, in seed order."""
+
+    seeds: list[int]
+    reports: list[VerifyReport] = field(default_factory=list)
+    #: cells that crashed even after retry (the sweep completed anyway)
+    failures: list[t.Any] = field(default_factory=list)
+    jobs: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and all(r.ok for r in self.reports)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(r.n_failed for r in self.reports)
+
+    def to_text(self) -> str:
+        blocks = [r.to_text() for r in self.reports]
+        held = sum(len(r.results) - r.n_failed for r in self.reports)
+        total = sum(len(r.results) for r in self.reports)
+        lines = [
+            f"verify sweep: {'OK' if self.ok else 'FAIL'} — {held}/{total} "
+            f"relations held over {len(self.seeds)} seed(s) {self.seeds}"
+        ]
+        for failure in self.failures:
+            detail = (getattr(failure, "error", None) or "unknown").splitlines()[-1]
+            lines.append(f"  CRASHED {failure.task_id}: {detail}")
+        return "\n\n".join(blocks + ["\n".join(lines)])
+
+    def to_payload(self) -> dict[str, t.Any]:
+        return {
+            "ok": self.ok,
+            "seeds": list(self.seeds),
+            "n_failed": self.n_failed,
+            "failures": [
+                {
+                    "cell": getattr(f, "task_id", "?"),
+                    "error": (getattr(f, "error", None) or "").splitlines()[-1:],
+                }
+                for f in self.failures
+            ],
+            "reports": [r.to_payload() for r in self.reports],
+        }
+
+
+def run_verify_sweep(
+    seeds: t.Sequence[int],
+    layers: t.Sequence[str] = LAYERS,
+    golden_dir: Path | None = None,
+    jobs: int = 1,
+    progress: t.Callable[[str], None] | None = None,
+) -> SweepVerifyReport:
+    """Run the oracle layers across many seeds, optionally in parallel.
+
+    The grid is one cell per ``(seed, layer)``; merged per-seed reports
+    concatenate their layers in :data:`LAYERS` order, so a single-seed
+    sweep's per-seed payload is byte-identical to a serial
+    :func:`run_verify` at that seed.  ``--update-golden`` is a serial,
+    file-writing affair and deliberately has no sweep equivalent.
+    """
+    from repro.oracle.relations import RelationResult
+    from repro.parallel.pool import Task, TaskResult, run_tasks
+
+    unknown = set(layers) - set(LAYERS)
+    if unknown:
+        raise ValueError(f"unknown verify layers: {sorted(unknown)}")
+    ordered_layers = [layer for layer in LAYERS if layer in layers]
+    tasks = [
+        Task(
+            id=f"s{seed}/{layer}",
+            kind="verify",
+            spec={
+                "seed": int(seed),
+                "layer": layer,
+                "golden_dir": str(golden_dir) if golden_dir is not None else None,
+            },
+        )
+        for seed in seeds
+        for layer in ordered_layers
+    ]
+
+    def on_cell(result: TaskResult) -> None:
+        if progress is None:
+            return
+        if result.ok:
+            verdict = "ok" if result.value["ok"] else "FAIL"
+            progress(f"{result.task_id:<28} {verdict}  ({result.wall_s:.2f}s)")
+        else:
+            progress(f"{result.task_id:<28} CRASHED after {result.attempts} attempt(s)")
+
+    outcomes = run_tasks(tasks, jobs=jobs, progress=on_cell)
+    by_id = {o.task_id: o for o in outcomes}
+    reports = []
+    for seed in seeds:
+        merged = VerifyReport(seed=int(seed))
+        for layer in ordered_layers:
+            outcome = by_id[f"s{seed}/{layer}"]
+            if not outcome.ok:
+                continue
+            for entry in outcome.value["payload"]["results"]:
+                merged.results.append(
+                    RelationResult(
+                        relation=entry["relation"],
+                        ok=entry["ok"],
+                        detail=entry["detail"],
+                        layer=entry["layer"],
+                    )
+                )
+        reports.append(merged)
+    return SweepVerifyReport(
+        seeds=[int(s) for s in seeds],
+        reports=reports,
+        failures=[o for o in outcomes if not o.ok],
+        jobs=jobs,
+    )

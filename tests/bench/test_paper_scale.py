@@ -78,6 +78,68 @@ class TestCompareTier:
         assert any("seed differs" in note for note in c.notes)
 
 
+class TestBestOfWallFence:
+    """The wall fence re-runs a loaded tier and judges the best wall.
+
+    Deterministic anchors cannot flake, so they are checked on the
+    first run only; extra runs happen only when the first wall lands
+    over the fence (the happy path stays one run per tier).
+    """
+
+    def patched_walls(self, monkeypatch, walls):
+        """compare_baseline sees one fake run per queued wall."""
+        queue = list(walls)
+        calls = []
+
+        def stub(name, seed=0):
+            calls.append(name)
+            return fake_result(name, seed=seed, wall=queue.pop(0))
+
+        monkeypatch.setattr("repro.bench.paper_scale.run_bench", stub)
+        return calls
+
+    def baseline(self, wall=2.0):
+        return {
+            "schema": BASELINE_SCHEMA,
+            "tiers": {PAPER_SMOKE_SCENARIO: fake_tier(wall=wall)},
+        }
+
+    def test_happy_path_runs_once(self, monkeypatch):
+        calls = self.patched_walls(monkeypatch, [2.1, 99.0, 99.0])
+        (c,) = compare_baseline(self.baseline(), tolerance=0.25)
+        assert c.ok and len(calls) == 1
+
+    def test_loaded_first_run_recovers_on_rerun(self, monkeypatch):
+        calls = self.patched_walls(monkeypatch, [9.0, 2.1, 99.0])
+        (c,) = compare_baseline(self.baseline(), tolerance=0.25)
+        assert c.ok and len(calls) == 2
+        assert c.fresh_wall_s == 2.1
+        assert any("best of 2 runs" in note and "host load" in note for note in c.notes)
+
+    def test_persistent_regression_fails_after_best_of(self, monkeypatch):
+        calls = self.patched_walls(monkeypatch, [9.0, 8.0, 7.5])
+        (c,) = compare_baseline(self.baseline(), tolerance=0.25)
+        assert not c.ok and len(calls) == 3
+        assert c.fresh_wall_s == 7.5  # judged on the best wall
+        assert any("wall regression: best of 3 runs" in note for note in c.notes)
+
+    def test_best_of_one_never_reruns(self, monkeypatch):
+        calls = self.patched_walls(monkeypatch, [9.0, 2.1, 2.1])
+        (c,) = compare_baseline(self.baseline(), tolerance=0.25, best_of=1)
+        assert not c.ok and len(calls) == 1
+
+    def test_anchor_drift_fails_even_when_wall_recovers(self, monkeypatch):
+        queue = [9.0, 2.1, 2.1]
+
+        def stub(name, seed=0):
+            return fake_result(name, seed=seed, events=4242, wall=queue.pop(0))
+
+        monkeypatch.setattr("repro.bench.paper_scale.run_bench", stub)
+        (c,) = compare_baseline(self.baseline(), tolerance=0.25)
+        assert not c.ok
+        assert any("behaviour drift" in note for note in c.notes)
+
+
 class TestBaselineFile:
     def test_roundtrip(self, tmp_path):
         baseline = build_baseline([fake_result()])

@@ -1,0 +1,60 @@
+"""Parallel-vs-serial byte-identity: the sweep engine's acceptance bar.
+
+Every surface must produce byte-identical output at ``-j 1`` and
+``-j 4`` — same ``BENCH_*.json`` text, same chaos report rendering and
+payload, same verify payloads — because each cell is a fully seeded,
+self-contained run and the merge is a pure function of the task list.
+"""
+
+import json
+
+from repro.bench import run_matrix_sweep
+from repro.chaos import run_campaign
+from repro.oracle import run_verify, run_verify_sweep
+
+BENCH_NAMES = ("slurm-1024", "eslurm-1024")
+
+
+class TestBenchDeterminism:
+    def test_bench_files_byte_identical_j1_vs_j4(self):
+        serial = run_matrix_sweep(BENCH_NAMES, seed=0, jobs=1)
+        pooled = run_matrix_sweep(BENCH_NAMES, seed=0, jobs=4)
+        assert serial.ok and pooled.ok
+        assert [r.scenario.name for r in pooled.results] == list(BENCH_NAMES)
+        for a, b in zip(serial.results, pooled.results):
+            assert a.to_json() == b.to_json()  # the BENCH_*.json bytes
+
+    def test_merged_telemetry_counters_identical(self):
+        serial = run_matrix_sweep(BENCH_NAMES, seed=0, jobs=1)
+        pooled = run_matrix_sweep(BENCH_NAMES, seed=0, jobs=2)
+        merged_serial = serial.merged_telemetry()
+        merged_pooled = pooled.merged_telemetry()
+        assert merged_serial == merged_pooled
+        assert merged_serial["counters"]  # non-trivial aggregation
+
+
+class TestChaosDeterminism:
+    def test_campaign_grid_identical_j1_vs_j4(self):
+        serial = run_campaign(["flapping-node"], seeds=(0, 1), jobs=1)
+        pooled = run_campaign(["flapping-node"], seeds=(0, 1), jobs=4)
+        assert serial.ok and pooled.ok
+        assert pooled.to_text() == serial.to_text()
+        assert json.dumps(pooled.to_payload(), sort_keys=True) == json.dumps(
+            serial.to_payload(), sort_keys=True
+        )
+        assert pooled.merged_invariant_counts() == serial.merged_invariant_counts()
+
+
+class TestVerifyDeterminism:
+    def test_single_seed_sweep_payload_equals_serial_run(self):
+        serial = run_verify(seed=0, layers=("metamorphic",))
+        sweep = run_verify_sweep([0], layers=("metamorphic",), jobs=1)
+        assert sweep.reports[0].to_payload() == serial.to_payload()
+
+    def test_seed_sweep_identical_j1_vs_j2(self):
+        serial = run_verify_sweep([0, 1], layers=("metamorphic",), jobs=1)
+        pooled = run_verify_sweep([0, 1], layers=("metamorphic",), jobs=2)
+        assert serial.ok and pooled.ok
+        assert json.dumps(pooled.to_payload(), sort_keys=True) == json.dumps(
+            serial.to_payload(), sort_keys=True
+        )
