@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale verify-smoke sweep-smoke lint-imports
+.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale verify-smoke sweep-smoke malleable-smoke lint-imports
 
 ## Full tier-1 suite (the CI gate).
 test:
@@ -76,6 +76,14 @@ sweep-smoke:
 	diff -r .sweep-j1 .sweep-j2
 	@echo "sweep determinism check: OK (-j 1 == -j 2, byte for byte)"
 	rm -rf .sweep-j1 .sweep-j2
+
+## Smoke: the elastic/placement layer end to end — the shrink-storm
+## chaos scenario must run violation-free, and the two differential
+## relations that pin it down must hold across a parallel seed sweep.
+malleable-smoke:
+	$(PYTHON) -m pytest -q tests/sched/test_malleable.py tests/sched/test_placement.py tests/rm/test_malleable_engine.py
+	$(PYTHON) -m repro.cli chaos run malleable-shrink-storm topology-storm --seed 7 -j 2
+	$(PYTHON) -m repro.cli verify --relation malleable-throughput --relation topology-fragmentation --seeds 2 -j 2
 
 lint-imports:
 	$(PYTHON) -c "import repro, repro.api, repro.bench, repro.chaos, repro.oracle, repro.parallel, repro.telemetry, repro.cli"

@@ -70,6 +70,12 @@ class SimulationConfig:
         estimator: runtime estimator handed to the RM (``"auto"`` for
             ESLURM's framework).
         telemetry: measurement configuration for the run.
+        placement: node-placement policy name — ``"first-fit"`` (the
+            byte-stable default) or ``"topology"`` (hop-compact,
+            alert-averse; see :mod:`repro.sched.placement`).
+        malleable: enable the scheduler's elastic-job protocol (jobs
+            with ``min_nodes < max_nodes`` start shrunk, grow into
+            holes, and contract under pressure/failure).
     """
 
     rm: str = "eslurm"
@@ -83,6 +89,8 @@ class SimulationConfig:
     workload: WorkloadConfig | None = None
     estimator: t.Any = None
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    placement: str = "first-fit"
+    malleable: bool = False
 
     def __post_init__(self) -> None:
         if self.rm not in RM_PROFILES:
@@ -91,6 +99,12 @@ class SimulationConfig:
             )
         if self.n_nodes < 1 or self.n_jobs < 0 or self.horizon_s <= 0:
             raise ConfigurationError("n_nodes/n_jobs/horizon_s out of range")
+        from repro.sched.placement import PLACEMENT_NAMES
+
+        if self.placement not in PLACEMENT_NAMES:
+            raise ConfigurationError(
+                f"unknown placement {self.placement!r}; choose from {list(PLACEMENT_NAMES)}"
+            )
 
     @property
     def monitoring_effective(self) -> bool:
@@ -217,6 +231,17 @@ def run_simulation(
             failures=config.failures,
             monitoring=config.monitoring,
         )
+        rm_kwargs: dict[str, t.Any] = {}
+        if config.malleable:
+            from repro.sched.backfill import BackfillScheduler
+
+            rm_kwargs["scheduler"] = BackfillScheduler(malleable=True)
+        if config.placement != "first-fit":
+            from repro.sched.placement import build_placement
+
+            rm_kwargs["placement"] = build_placement(
+                config.placement, cluster.topology, alert_source=cluster.monitor
+            )
         report = run_rm_day(
             config.rm,
             cluster,
@@ -225,6 +250,7 @@ def run_simulation(
             horizon_s=config.horizon_s,
             workload=config.workload,
             estimator=config.estimator,
+            **rm_kwargs,
         )
         snapshot = tel.snapshot() if tel is not None else None
     return SimulationResult(config=config, report=report, telemetry=snapshot)

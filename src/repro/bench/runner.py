@@ -67,18 +67,25 @@ def run_bench(scenario: str | BenchScenario, seed: int = 0) -> BenchResult:
     sim_time_s = float(counters.pop("sim.time_s", spec.horizon_s))
     peak_heap = int(gauges.get("sim.heap.peak", {}).get("max", 0))
     schedule = asdict(result.report.schedule) if result.report.schedule else {}
+    scenario_fields: dict[str, t.Any] = {
+        "rm": spec.rm,
+        "n_nodes": spec.n_nodes,
+        "n_satellites": spec.n_satellites,
+        "failures": spec.failures,
+        "n_jobs": spec.n_jobs,
+        "horizon_s": spec.horizon_s,
+    }
+    # Elastic/placement knobs appear only when set, so every bench file
+    # recorded before they existed stays byte-identical.
+    if spec.malleable_fraction > 0.0:
+        scenario_fields["malleable_fraction"] = spec.malleable_fraction
+    if spec.placement != "first-fit":
+        scenario_fields["placement"] = spec.placement
     payload: dict[str, t.Any] = {
         "schema": SCHEMA,
         "name": spec.name,
         "seed": seed,
-        "scenario": {
-            "rm": spec.rm,
-            "n_nodes": spec.n_nodes,
-            "n_satellites": spec.n_satellites,
-            "failures": spec.failures,
-            "n_jobs": spec.n_jobs,
-            "horizon_s": spec.horizon_s,
-        },
+        "scenario": scenario_fields,
         "sim_time_s": sim_time_s,
         "events": events,
         "events_per_sim_s": events / sim_time_s if sim_time_s else 0.0,

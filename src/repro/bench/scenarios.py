@@ -31,7 +31,13 @@ HORIZON_S = 4 * 3600.0
 
 @dataclass(frozen=True)
 class BenchScenario:
-    """One cell of the matrix."""
+    """One cell of the matrix.
+
+    ``malleable_fraction`` / ``placement`` select the elastic-job
+    protocol and the node-placement policy; both default to the rigid/
+    first-fit setting so every pre-existing ``BENCH_*.json`` anchor
+    stays byte-identical.
+    """
 
     name: str
     rm: str
@@ -40,12 +46,15 @@ class BenchScenario:
     failures: bool
     n_jobs: int
     horizon_s: float = HORIZON_S
+    malleable_fraction: float = 0.0
+    placement: str = "first-fit"
 
     def workload(self) -> WorkloadConfig:
         """Jobs paced to land inside the horizon (chaos-harness pacing)."""
         return WorkloadConfig(
             jobs_per_day=self.n_jobs * DAY / (0.6 * self.horizon_s),
             max_nodes=max(1, self.n_nodes // 4),
+            malleable_fraction=self.malleable_fraction,
             name=f"bench-{self.name}",
         )
 
@@ -61,6 +70,8 @@ class BenchScenario:
             workload=self.workload(),
             estimator="auto" if self.rm == "eslurm" else None,
             telemetry=TelemetryConfig(enabled=True),
+            placement=self.placement,
+            malleable=self.malleable_fraction > 0.0,
         )
 
     @property
@@ -110,6 +121,30 @@ def _paper_scale() -> dict[str, BenchScenario]:
             n_jobs=10_000,
             horizon_s=DAY,
         )
+    # Elastic and topology-aware variants of the smallest tier: same
+    # machine and workload volume, but with half the jobs malleable
+    # (resp. the topology-aware placement policy) so the malleability
+    # protocol and placement scoring have their own wall-time anchors.
+    tiers["paper-1024-malleable"] = BenchScenario(
+        name="paper-1024-malleable",
+        rm="eslurm",
+        n_nodes=1024,
+        n_satellites=2,
+        failures=True,
+        n_jobs=10_000,
+        horizon_s=DAY,
+        malleable_fraction=0.5,
+    )
+    tiers["paper-1024-topology"] = BenchScenario(
+        name="paper-1024-topology",
+        rm="eslurm",
+        n_nodes=1024,
+        n_satellites=2,
+        failures=True,
+        n_jobs=10_000,
+        horizon_s=DAY,
+        placement="topology",
+    )
     return tiers
 
 

@@ -52,6 +52,7 @@ def _job_stream(scenario: ChaosScenario, seed: int):
         max_nodes=max(1, scenario.n_nodes // 4),
         long_job_fraction=0.1,
         burst_mean=2.0,
+        malleable_fraction=scenario.malleable_fraction,
         name=f"chaos-{scenario.name}",
     )
     return generate_trace(config, scenario.n_jobs, seed=seed)
@@ -82,7 +83,18 @@ def run_scenario(
         failure_model=FailureModel.disabled(),
         name=f"chaos-{spec.name}",
     ).build(sim)
-    rm = EslurmRM(sim, cluster)
+    rm_kwargs: dict[str, t.Any] = {}
+    if spec.malleable_fraction > 0.0:
+        from repro.sched.backfill import BackfillScheduler
+
+        rm_kwargs["scheduler"] = BackfillScheduler(malleable=True)
+    if spec.placement != "first-fit":
+        from repro.sched.placement import build_placement
+
+        rm_kwargs["placement"] = build_placement(
+            spec.placement, cluster.topology, alert_source=cluster.monitor
+        )
+    rm = EslurmRM(sim, cluster, **rm_kwargs)
 
     registry = InvariantRegistry(
         invariant_factory() if invariant_factory is not None else default_invariants()
@@ -113,6 +125,8 @@ def run_scenario(
         jobs_completed=sum(1 for j in rm.jobs if j.state is JobState.COMPLETED),
         jobs_failed=sum(1 for j in rm.jobs if j.state is JobState.FAILED),
         master_takeovers=rm.sat_pool.master_takeovers,
+        jobs_grown=rm.resize_grows,
+        jobs_shrunk=rm.resize_shrinks,
         invariant_counts=registry.counts(),
         violations=tuple(registry.violations),
         schedule=tuple(schedule),

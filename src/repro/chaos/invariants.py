@@ -16,6 +16,7 @@ from repro.oracle.invariants import (
     FPTreeSoundness,
     Invariant,
     InvariantRegistry,
+    MalleableWidth,
     NodeConservation,
     Reporter,
     SatelliteLegality,
@@ -31,6 +32,7 @@ __all__ = [
     "FPTreeSoundness",
     "Invariant",
     "InvariantRegistry",
+    "MalleableWidth",
     "NodeConservation",
     "Reporter",
     "SatelliteLegality",

@@ -38,6 +38,8 @@ class ChaosReport:
     invariant_counts: tuple[tuple[str, int], ...]
     violations: tuple[Violation, ...] = ()
     schedule: tuple[ScheduledFault, ...] = field(default=(), repr=False)
+    jobs_grown: int = 0
+    jobs_shrunk: int = 0
 
     @property
     def total_violations(self) -> int:
@@ -73,6 +75,7 @@ class ChaosReport:
             f"  jobs: {self.jobs_submitted} submitted, {self.jobs_completed} completed, "
             f"{self.jobs_failed} failed",
             f"  master takeovers: {self.master_takeovers}",
+            f"  resizes: {self.jobs_grown} grow(s), {self.jobs_shrunk} shrink(s)",
             f"  violations: {self.total_violations}",
         ]
         for name, count in self.invariant_counts:

@@ -44,7 +44,15 @@ ScheduleBuilder = t.Callable[["ChaosScenario", np.random.Generator], t.List[Sche
 
 @dataclass(frozen=True)
 class ChaosScenario:
-    """A named adversarial setting the campaign runner can execute."""
+    """A named adversarial setting the campaign runner can execute.
+
+    ``malleable_fraction`` > 0 turns on the scheduler's elastic-job
+    protocol and makes that fraction of the job stream declare
+    ``min_nodes``/``max_nodes``; ``placement`` selects the node-placement
+    policy (``"topology"`` = hop-compact, alert-averse).  Both default to
+    the rigid/first-fit setting, keeping the original catalogue entries
+    byte-identical.
+    """
 
     name: str
     description: str
@@ -53,6 +61,8 @@ class ChaosScenario:
     horizon_s: float
     n_jobs: int
     builder: ScheduleBuilder
+    malleable_fraction: float = 0.0
+    placement: str = "first-fit"
 
     def build_schedule(self, rng: np.random.Generator) -> list[ScheduledFault]:
         """The seed-deterministic fault schedule, sorted by time."""
@@ -197,6 +207,26 @@ SCENARIOS: dict[str, ChaosScenario] = {
             horizon_s=3 * HOUR,
             n_jobs=40,
             builder=_flapping_node,
+        ),
+        ChaosScenario(
+            name="malleable-shrink-storm",
+            description="failure storm against an elastic job mix — chaos shrinks instead of kills",
+            n_nodes=96,
+            n_satellites=3,
+            horizon_s=4 * HOUR,
+            n_jobs=60,
+            builder=_failure_storm,
+            malleable_fraction=0.5,
+        ),
+        ChaosScenario(
+            name="topology-storm",
+            description="failure storm under topology/fault-aware placement",
+            n_nodes=96,
+            n_satellites=3,
+            horizon_s=4 * HOUR,
+            n_jobs=60,
+            builder=_failure_storm,
+            placement="topology",
         ),
     )
 }

@@ -541,6 +541,14 @@ def _verify_run_configure(parser: argparse.ArgumentParser) -> None:
         help="run only this layer (repeatable; default: all)",
     )
     parser.add_argument(
+        "--relation",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this named relation (repeatable; see 'repro verify list'; "
+        "skips the golden layer)",
+    )
+    parser.add_argument(
         "--update-golden",
         action="store_true",
         help="regenerate the frozen golden traces before comparing",
@@ -567,19 +575,25 @@ def _verify_run(args: argparse.Namespace) -> int:
         args._parser.error("--seeds must be >= 1")
     layers = tuple(args.layer) if args.layer else LAYERS
     golden_dir = Path(args.golden_dir) if args.golden_dir else None
+    if args.relation and args.update_golden:
+        args._parser.error("--relation skips the golden layer; drop --update-golden")
     if args.seeds > 1 or args.jobs != 1:
         if args.update_golden:
             args._parser.error(
                 "--update-golden rewrites shared files and must run serially "
                 "(drop --seeds/-j)"
             )
-        sweep = run_verify_sweep(
-            seeds=range(args.seed, args.seed + args.seeds),
-            layers=layers,
-            golden_dir=golden_dir,
-            jobs=args.jobs,
-            progress=None if args.json or args.out else print,
-        )
+        try:
+            sweep = run_verify_sweep(
+                seeds=range(args.seed, args.seed + args.seeds),
+                layers=layers,
+                golden_dir=golden_dir,
+                jobs=args.jobs,
+                progress=None if args.json or args.out else print,
+                relations=args.relation,
+            )
+        except ValueError as exc:
+            args._parser.error(str(exc))
         if args.json:
             _emit(json.dumps(sweep.to_payload(), sort_keys=True, indent=2), args.out)
         elif args.out:
@@ -592,13 +606,17 @@ def _verify_run(args: argparse.Namespace) -> int:
                 f"relations held over {args.seeds} seed(s)"
             )
         return 0 if sweep.ok else 1
-    report = run_verify(
-        seed=args.seed,
-        layers=layers,
-        golden_dir=golden_dir,
-        update_golden=args.update_golden,
-        progress=None if args.json or args.out else print,
-    )
+    try:
+        report = run_verify(
+            seed=args.seed,
+            layers=layers,
+            golden_dir=golden_dir,
+            update_golden=args.update_golden,
+            progress=None if args.json or args.out else print,
+            relations=args.relation,
+        )
+    except ValueError as exc:
+        args._parser.error(str(exc))
     if args.json:
         _emit(json.dumps(report.to_payload(), sort_keys=True, indent=2), args.out)
     elif args.out:

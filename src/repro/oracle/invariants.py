@@ -323,6 +323,37 @@ class SchedulerConservation(Invariant):
             )
 
 
+class MalleableWidth(Invariant):
+    """Elastic jobs always run inside their declared width range.
+
+    Scan-only.  Every running allocation of a malleable job must hold
+    between ``min_nodes`` and ``max_nodes`` nodes — grow/shrink
+    decisions (including chaos-driven contraction on node failure) may
+    never push a job outside the range it declared at submit.  While a
+    malleable job is RUNNING its own view of the allocation must agree
+    with the scheduler pool's record.
+    """
+
+    name = "malleable-width"
+
+    def check(self, ctx: ChaosContext) -> t.Iterable[str]:
+        for job_id, rec in ctx.rm.pool.running.items():
+            job = rec.job
+            if not getattr(job, "malleable", False):
+                continue
+            width = len(rec.node_ids)
+            if not job.min_nodes <= width <= job.max_nodes:
+                yield (
+                    f"job {job_id} runs at width {width}, outside "
+                    f"[{job.min_nodes}, {job.max_nodes}]"
+                )
+            if job.state is JobState.RUNNING and set(job.allocated_nodes) != set(rec.node_ids):
+                yield (
+                    f"job {job_id} allocation view {sorted(job.allocated_nodes)[:8]} "
+                    f"disagrees with the pool record {sorted(rec.node_ids)[:8]}"
+                )
+
+
 def default_invariants() -> list[Invariant]:
     """Fresh instances of every registered invariant (they are stateful)."""
     return [
@@ -331,6 +362,7 @@ def default_invariants() -> list[Invariant]:
         FPTreeSoundness(),
         Eq1Correctness(),
         SchedulerConservation(),
+        MalleableWidth(),
     ]
 
 

@@ -25,10 +25,15 @@ from __future__ import annotations
 import typing as t
 from dataclasses import dataclass, replace
 
+import numpy as np
+
+from repro.cluster.topology import Topology
+from repro.errors import SchedulingError
 from repro.sched.allocator import NodePool
 from repro.sched.backfill import BackfillScheduler
 from repro.sched.fcfs import FcfsScheduler
 from repro.sched.job import Job, JobState
+from repro.sched.placement import placement_score
 from repro.sched.queue import JobQueue
 from repro.oracle.relations import Relation, RelationResult
 from repro.workload.synthetic import WorkloadConfig, generate_trace
@@ -100,6 +105,7 @@ def replay(
     specs: t.Sequence[JobSpec],
     n_nodes: int,
     scheduler: t.Any | None = None,
+    placement: t.Any | None = None,
 ) -> ReplayResult:
     """Replay a job stream through the production scheduler stack.
 
@@ -108,12 +114,13 @@ def replay(
     event — over the real :class:`JobQueue` / :class:`NodePool` /
     scheduler classes.  Every job must fit the machine and every job
     must eventually run; the kernel raises otherwise, which is itself a
-    liveness check.
+    liveness check.  ``placement`` is handed to the :class:`NodePool`
+    (``None`` keeps the native first-fit-by-id path).
     """
     import heapq
 
     scheduler = scheduler or BackfillScheduler()
-    pool = NodePool(range(n_nodes))
+    pool = NodePool(range(n_nodes), placement=placement)
     queue = JobQueue()
     jobs = {s.job_id: s.materialize() for s in specs}
     for s in specs:
@@ -357,6 +364,142 @@ class SeedSensitivityRelation(_SchedulerRelation):
         return self._result(not problems, detail)
 
 
+class ShrinkGrowRoundTripRelation(Relation):
+    """Shrink-then-grow on a saturated machine restores the allocation.
+
+    A malleable job and a rigid filler occupy the whole pool, so after a
+    shrink the freed nodes are the *only* free ones — regrowing by the
+    same amount must hand back exactly the freed set, restoring the
+    original allocation bit for bit (and leaking no node either way).
+    Repeated with seeded random shrink sizes.
+    """
+
+    name = "shrink-grow-roundtrip"
+    layer = "metamorphic"
+    section = "VII-D (elastic protocol)"
+    claim = "shrink-then-grow on a full machine restores the exact allocation"
+
+    N_NODES = 32
+    WIDTH = 8
+    ROUNDS = 8
+
+    def run(self, seed: int = 0) -> RelationResult:
+        rng = np.random.default_rng(seed)
+        pool = NodePool(range(self.N_NODES))
+        elastic = Job(
+            job_id=1,
+            name="elastic",
+            user="oracle",
+            n_nodes=self.WIDTH,
+            runtime_s=3600.0,
+            user_estimate_s=3600.0,
+            submit_time=0.0,
+            min_nodes=1,
+            max_nodes=self.N_NODES,
+        )
+        filler = Job(
+            job_id=2,
+            name="filler",
+            user="oracle",
+            n_nodes=self.N_NODES - self.WIDTH,
+            runtime_s=3600.0,
+            user_estimate_s=3600.0,
+            submit_time=0.0,
+        )
+        original = pool.allocate(elastic, 0.0)
+        elastic.start(0.0, original)
+        filler.start(0.0, pool.allocate(filler, 0.0))
+        problems: list[str] = []
+        for step in range(1, self.ROUNDS + 1):
+            give = int(rng.integers(1, self.WIDTH))
+            victims = tuple(sorted(elastic.allocated_nodes)[-give:])
+            at = float(step) * 100.0
+            # A broken resize path may corrupt state enough that a later
+            # round raises; surface that as a failed relation, not a crash.
+            try:
+                pool.shrink_allocation(elastic.job_id, victims)
+                elastic.shrink(at, victims)
+                regrown = pool.grow_allocation(elastic.job_id, give)
+                elastic.grow(at + 50.0, regrown)
+            except SchedulingError as exc:
+                problems.append(f"step {step}: resize raised: {exc}")
+                break
+            if set(regrown) != set(victims):
+                problems.append(f"step {step}: regrew {sorted(regrown)} != freed {sorted(victims)}")
+            if set(elastic.allocated_nodes) != set(original):
+                problems.append(f"step {step}: allocation not restored")
+            if set(pool.running[elastic.job_id].node_ids) != set(original):
+                problems.append(f"step {step}: pool record diverged")
+            if pool.n_free != 0:
+                problems.append(f"step {step}: {pool.n_free} node(s) leaked")
+        detail = f"seed={seed}: {self.ROUNDS} shrink/grow round-trips on a full {self.N_NODES}-node pool"
+        if problems:
+            detail = "; ".join(problems[:3])
+        return self._result(not problems, detail)
+
+
+class RackRelabelScoreRelation(Relation):
+    """The placement score is invariant under rack relabelling.
+
+    Permuting whole racks (node ``rack*R + off`` maps to
+    ``perm[rack]*R + off``) preserves every within-board/chassis/rack
+    group size, hence every hop-level pair count — the score must be
+    bit-identical on seeded random node sets.
+    """
+
+    name = "rack-relabel-score"
+    layer = "metamorphic"
+    section = "II (topology model)"
+    claim = "hop-level placement score unchanged under rack permutation"
+
+    N_RACKS = 6
+    TRIALS = 50
+
+    def run(self, seed: int = 0) -> RelationResult:
+        topo = Topology(nodes_per_board=2, boards_per_chassis=2, chassis_per_rack=2)
+        npr = topo.nodes_per_rack
+        n = npr * self.N_RACKS
+        rng = np.random.default_rng(seed)
+        worst = 0.0
+        for _ in range(self.TRIALS):
+            k = int(rng.integers(2, 2 * npr + 1))
+            nodes = tuple(int(i) for i in rng.choice(n, size=k, replace=False))
+            perm = rng.permutation(self.N_RACKS)
+            relabeled = tuple(int(perm[v // npr]) * npr + (v % npr) for v in nodes)
+            diff = abs(placement_score(nodes, topo) - placement_score(relabeled, topo))
+            worst = max(worst, diff)
+        ok = worst <= 1e-12
+        detail = f"seed={seed}: {self.TRIALS} node sets over {self.N_RACKS} racks, max score drift {worst:.2e}"
+        return self._result(ok, detail)
+
+
+class ShrinkChaosInvariantsRelation(Relation):
+    """Contraction under injected node failure preserves every invariant.
+
+    Runs the ``malleable-shrink-storm`` chaos scenario — dense point and
+    burst faults against a half-elastic job mix, where failures contract
+    running jobs instead of killing them — and asserts the full default
+    invariant set (node conservation, width bounds, scheduler
+    conservation, ...) records zero violations.
+    """
+
+    name = "shrink-chaos-invariants"
+    layer = "metamorphic"
+    section = "VII (failure handling)"
+    claim = "failure-driven contraction violates no chaos invariant"
+
+    def run(self, seed: int = 0) -> RelationResult:
+        from repro.chaos.campaign import run_scenario
+
+        report = run_scenario("malleable-shrink-storm", seed=seed)
+        detail = (
+            f"seed={seed}: {report.jobs_grown} grow(s), {report.jobs_shrunk} shrink(s), "
+            f"{report.jobs_completed}/{report.jobs_submitted} completed, "
+            f"{report.total_violations} violation(s)"
+        )
+        return self._result(report.ok, detail)
+
+
 #: the metamorphic registry
 METAMORPHIC_RELATIONS: tuple[Relation, ...] = (
     RelabelInvarianceRelation(),
@@ -364,4 +507,7 @@ METAMORPHIC_RELATIONS: tuple[Relation, ...] = (
     RuntimeScalingRelation(),
     CapacityMonotonicityRelation(),
     SeedSensitivityRelation(),
+    ShrinkGrowRoundTripRelation(),
+    RackRelabelScoreRelation(),
+    ShrinkChaosInvariantsRelation(),
 )

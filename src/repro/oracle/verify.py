@@ -17,6 +17,22 @@ from repro.oracle.relations import RelationResult
 LAYERS = ("differential", "metamorphic", "golden")
 
 
+def _validate_relations(relations: t.Sequence[str] | None) -> set[str] | None:
+    """Resolve a relation-name filter; raises on names nobody registers."""
+    if not relations:
+        return None
+    from repro.oracle.relations import relations_table
+
+    wanted = set(relations)
+    known = {r.name for r in relations_table()}
+    missing = wanted - known
+    if missing:
+        raise ValueError(
+            f"unknown relations: {sorted(missing)} (known: {sorted(known)})"
+        )
+    return wanted
+
+
 @dataclass
 class VerifyReport:
     """Every relation outcome of one verification run."""
@@ -65,6 +81,7 @@ def run_verify(
     golden_dir: Path | None = None,
     update_golden: bool = False,
     progress: t.Callable[[str], None] | None = None,
+    relations: t.Sequence[str] | None = None,
 ) -> VerifyReport:
     """Run the requested oracle layers and collect every outcome.
 
@@ -77,10 +94,15 @@ def run_verify(
             against them.
         progress: per-relation callback (the CLI streams lines through
             it; pass ``None`` for silent collection).
+        relations: restrict the differential/metamorphic layers to these
+            relation names.  The golden layer — whose checks are frozen
+            scenarios, not named relations — is skipped when a filter is
+            given.  Unknown names raise.
     """
     unknown = set(layers) - set(LAYERS)
     if unknown:
         raise ValueError(f"unknown verify layers: {sorted(unknown)}")
+    wanted = _validate_relations(relations)
     report = VerifyReport(seed=seed)
 
     def record(result: RelationResult) -> None:
@@ -92,12 +114,18 @@ def run_verify(
         from repro.oracle.differential import DIFFERENTIAL_RELATIONS
 
         for relation in DIFFERENTIAL_RELATIONS:
+            if wanted is not None and relation.name not in wanted:
+                continue
             record(relation.run(seed=seed))
     if "metamorphic" in layers:
         from repro.oracle.metamorphic import METAMORPHIC_RELATIONS
 
         for relation in METAMORPHIC_RELATIONS:
+            if wanted is not None and relation.name not in wanted:
+                continue
             record(relation.run(seed=seed))
+    if "golden" in layers and wanted is not None:
+        layers = [layer for layer in layers if layer != "golden"]
     if "golden" in layers:
         from repro.oracle.golden import check_golden, write_golden
 
@@ -167,6 +195,7 @@ def run_verify_sweep(
     golden_dir: Path | None = None,
     jobs: int = 1,
     progress: t.Callable[[str], None] | None = None,
+    relations: t.Sequence[str] | None = None,
 ) -> SweepVerifyReport:
     """Run the oracle layers across many seeds, optionally in parallel.
 
@@ -175,6 +204,8 @@ def run_verify_sweep(
     sweep's per-seed payload is byte-identical to a serial
     :func:`run_verify` at that seed.  ``--update-golden`` is a serial,
     file-writing affair and deliberately has no sweep equivalent.
+    ``relations`` restricts the named-relation layers exactly as in
+    :func:`run_verify` (the golden layer drops out of the grid).
     """
     from repro.oracle.relations import RelationResult
     from repro.parallel.pool import Task, TaskResult, run_tasks
@@ -182,7 +213,10 @@ def run_verify_sweep(
     unknown = set(layers) - set(LAYERS)
     if unknown:
         raise ValueError(f"unknown verify layers: {sorted(unknown)}")
+    wanted = _validate_relations(relations)
     ordered_layers = [layer for layer in LAYERS if layer in layers]
+    if wanted is not None:
+        ordered_layers = [layer for layer in ordered_layers if layer != "golden"]
     tasks = [
         Task(
             id=f"s{seed}/{layer}",
@@ -191,6 +225,7 @@ def run_verify_sweep(
                 "seed": int(seed),
                 "layer": layer,
                 "golden_dir": str(golden_dir) if golden_dir is not None else None,
+                "relations": sorted(wanted) if wanted is not None else None,
             },
         )
         for seed in seeds

@@ -99,6 +99,7 @@ def _verify_cell(spec: dict[str, t.Any]) -> dict[str, t.Any]:
         seed=int(spec.get("seed", 0)),
         layers=(spec["layer"],),
         golden_dir=Path(golden_dir) if golden_dir else None,
+        relations=spec.get("relations"),
     )
     return {
         "seed": report.seed,

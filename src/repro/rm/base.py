@@ -30,13 +30,18 @@ from repro.network.structures import StarBroadcast, TreeBroadcast
 from repro.rm.accounting import DaemonAccounting
 from repro.rm.profiles import HeartbeatStyle, LaunchStructure, RMProfile
 from repro.sched.allocator import NodePool
-from repro.sched.backfill import BackfillScheduler
+from repro.sched.backfill import BackfillScheduler, ResizeDecision
 from repro.sched.job import Job, JobState
 from repro.sched.metrics import ScheduleMetrics
 from repro.sched.queue import JobQueue
 from repro.simkit.core import Simulator
 from repro.simkit.monitor import Tally
 from repro.telemetry import facade as telemetry
+
+
+#: interrupt cause the engine uses to retime a malleable job's work
+#: loop after a grow/shrink — anything else kills the job as before
+RESIZE_CAUSE = "resize"
 
 
 def tree_depth_estimate(n: int, width: int) -> int:
@@ -103,6 +108,9 @@ class ResourceManager:
         fabric_config: interconnect parameters.
         user_rpc_rate_per_s: background squeue/scancel traffic.
         sample_interval_s: accounting sample cadence (paper: 1 s).
+        placement: optional :class:`~repro.sched.placement.PlacementPolicy`
+            steering which free nodes allocations receive (``None`` keeps
+            the byte-stable first-fit path).
     """
 
     rm_name = "generic"
@@ -117,6 +125,7 @@ class ResourceManager:
         fabric_config: FabricConfig | None = None,
         user_rpc_rate_per_s: float = 0.05,
         sample_interval_s: float = 60.0,
+        placement: t.Any = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
@@ -128,10 +137,15 @@ class ResourceManager:
         self.sample_interval_s = sample_interval_s
         self.rm_name = profile.name
         self.master_acct = DaemonAccounting(sim, profile, f"{profile.name}.master")
-        self.pool = NodePool(cluster.compute_ids())
+        self.pool = NodePool(cluster.compute_ids(), placement=placement)
         self.queue = JobQueue()
         self.jobs: list[Job] = []
         self._job_procs: dict[int, t.Any] = {}
+        #: malleable jobs currently inside their interruptible work loop
+        #: — the only window where a resize retime may be delivered
+        self._resize_ok: set[int] = set()
+        self.resize_grows = 0
+        self.resize_shrinks = 0
         self._occupation = Tally("occupation")
         self._bcast_tally = Tally("broadcast")
         self._started = False
@@ -286,11 +300,113 @@ class ResourceManager:
                 decisions = self.scheduler.plan(self.queue, self.pool, self.sim.now)
             tel.count("sched.passes")
             tel.count("sched.decisions", len(decisions))
+        self._launch_decisions(decisions)
+        self._elastic_pass()
+
+    def _launch_decisions(self, decisions: list[tuple[Job, tuple[int, ...]]]) -> None:
         for job, nodes in decisions:
             for nid in nodes:
                 self.cluster.node(nid).allocate(job.job_id)
             proc = self.sim.process(self._run_job(job, nodes), name=f"job{job.job_id}")
             self._job_procs[job.job_id] = proc
+
+    # -- malleability --------------------------------------------------------
+    def _elastic_pass(self) -> None:
+        """Grow/contract running elastic jobs after the start decisions."""
+        plan_resizes = getattr(self.scheduler, "plan_resizes", None)
+        if plan_resizes is None:
+            return
+        resizes = plan_resizes(self.queue, self.pool, self.sim.now)
+        if not resizes:
+            return
+        shrank = self._apply_resizes(resizes)
+        if shrank:
+            # Contraction freed nodes for a blocked head: admit it now
+            # rather than waiting for the next event.
+            self._launch_decisions(self.scheduler.plan(self.queue, self.pool, self.sim.now))
+
+    def _apply_resizes(self, resizes: list[ResizeDecision]) -> bool:
+        """Apply scheduler resize decisions; returns whether any shrank.
+
+        The pool side is already mutated (the scheduler allocates, same
+        as ``plan``); this applies the job, cluster-node, accounting and
+        process-retiming side, with one telemetry span per decision.
+        """
+        tel = telemetry.active()
+        shrank = False
+        for dec in resizes:
+            if tel is not None:
+                with tel.span("sched.resize"):
+                    self._apply_one_resize(dec)
+                tel.count("sched.resize.decisions")
+                if dec.added:
+                    tel.count("sched.grow.nodes", len(dec.added))
+                if dec.removed:
+                    tel.count("sched.shrink.nodes", len(dec.removed))
+            else:
+                self._apply_one_resize(dec)
+            shrank = shrank or bool(dec.removed)
+        return shrank
+
+    def _apply_one_resize(self, dec: ResizeDecision) -> None:
+        job = dec.job
+        now = self.sim.now
+        p = self.profile
+        self.master_acct.charge_cpu(
+            p.launch_cpu_per_node_us / 1e6 * (len(dec.added) + len(dec.removed))
+        )
+        if dec.added:
+            for nid in dec.added:
+                self.cluster.node(nid).allocate(job.job_id)
+            job.grow(now, dec.added)
+            self.resize_grows += 1
+        if dec.removed:
+            job.shrink(now, dec.removed)
+            for nid in dec.removed:
+                node = self.cluster.node(nid)
+                if node.running_job == job.job_id:
+                    node.release()
+            self.resize_shrinks += 1
+        self._retime(job)
+
+    def _retime(self, job: Job) -> None:
+        """Refresh the reservation belief and the work-loop timer.
+
+        ``job.alloc_node_seconds`` was just brought up to date by
+        grow/shrink, so the remaining kill budget (node-seconds against
+        the wall limit at the *requested* width) divided by the new
+        width is the new believed wall deadline.
+        """
+        width = max(len(job.allocated_nodes), 1)
+        remaining_kill = max(job.limit_s * job.n_nodes - job.alloc_node_seconds, 0.0)
+        self.pool.retime(job.job_id, self.sim.now + remaining_kill / width)
+        proc = self._job_procs.get(job.job_id)
+        if job.job_id in self._resize_ok and proc is not None and proc.is_alive:
+            proc.interrupt(cause=RESIZE_CAUSE)
+
+    def _malleable_work(self, job: Job) -> t.Generator:
+        """Interruptible work loop: a width-``w`` allocation burns ``w``
+        node-seconds per second of a fixed total (work conservation, the
+        DMR model) — growing shortens the remaining wall clock, shrinking
+        stretches it.  Resize interrupts retime; any other interrupt
+        propagates to the kill path.
+        """
+        work = float(job.n_nodes) * job.effective_runtime_s
+        self._resize_ok.add(job.job_id)
+        try:
+            while work > 1e-9:
+                width = max(len(job.allocated_nodes), 1)
+                seg_start = self.sim.now
+                try:
+                    yield self.sim.timeout(work / width)
+                except ProcessInterrupt as intr:
+                    if intr.cause != RESIZE_CAUSE:
+                        raise
+                    work -= (self.sim.now - seg_start) * width
+                else:
+                    work = 0.0
+        finally:
+            self._resize_ok.discard(job.job_id)
 
     # -- the job lifecycle process ------------------------------------------
     def _run_job(self, job: Job, nodes: tuple[int, ...]) -> t.Generator:
@@ -306,13 +422,18 @@ class ResourceManager:
             yield self.sim.timeout(launch.makespan_s)
             job.start(self.sim.now, nodes)
             self.master_acct.set_tracked(jobs=len(self.pool.running) + len(self.queue))
-            yield self.sim.timeout(job.effective_runtime_s)
+            if job.malleable:
+                yield from self._malleable_work(job)
+            else:
+                yield self.sim.timeout(job.effective_runtime_s)
             # A crashed master cannot process the completion: the job's
             # resources stay occupied until the daemon is back.
             if self.master_down:
                 yield self.sim.timeout(self._crashed_until - self.sim.now)
             end_state = JobState.TIMEOUT if job.will_timeout else JobState.COMPLETED
-            term = self._broadcast(MessageKind.JOB_TERMINATE, nodes)
+            # Resizes may have changed the allocation since launch.
+            term_targets = job.allocated_nodes or nodes
+            term = self._broadcast(MessageKind.JOB_TERMINATE, term_targets)
             self._bcast_tally.record(term.makespan_s)
             yield self.sim.timeout(term.makespan_s)
             job.finish(self.sim.now, end_state)
@@ -337,8 +458,10 @@ class ResourceManager:
 
     def _release(self, job: Job, nodes: tuple[int, ...], held_since: float) -> None:
         self._job_procs.pop(job.job_id, None)
-        self.pool.release(job.job_id)
-        for nid in nodes:
+        # The pool record, not the launch-time tuple, is the allocation
+        # of record — resizes may have changed it since the job started.
+        released = self.pool.release(job.job_id)
+        for nid in released:
             node = self.cluster.node(nid)
             if node.running_job == job.job_id:
                 node.release()
@@ -449,7 +572,28 @@ class ResourceManager:
             if not self.pool.has_node(nid):
                 continue
             victim = self.pool.mark_down(nid)
-            if victim is not None:
+            if victim is None:
+                continue
+            rec = self.pool.running.get(victim)
+            job = rec.job if rec is not None else None
+            if (
+                job is not None
+                and victim not in killed
+                and job.malleable
+                and job.state is JobState.RUNNING
+                and len(rec.node_ids) > job.min_nodes
+            ):
+                # Malleable job above its floor: contract around the
+                # dead node instead of killing the whole job.
+                self.pool.shrink_allocation(victim, (nid,))
+                job.shrink(self.sim.now, (nid,))
+                node = self.cluster.node(nid)
+                if node.running_job == job.job_id:
+                    node.release()
+                self.resize_shrinks += 1
+                telemetry.count("sched.shrink.on_failure")
+                self._retime(job)
+            else:
                 killed.add(victim)
         for job_id in killed:
             proc = self._job_procs.get(job_id)

@@ -35,7 +35,7 @@ class NodePool:
     rebuilt outright if stale entries ever dominate.
     """
 
-    def __init__(self, node_ids: t.Iterable[int]) -> None:
+    def __init__(self, node_ids: t.Iterable[int], placement: t.Any = None) -> None:
         universe = list(node_ids)
         if len(set(universe)) != len(universe):
             raise SchedulingError("duplicate node ids in pool")
@@ -47,6 +47,9 @@ class NodePool:
         self.running: dict[int, RunningJob] = {}
         #: memo for :meth:`believed_ends`, dropped whenever ``running`` changes
         self._ends_cache: list[tuple[float, int]] | None = None
+        #: optional :class:`~repro.sched.placement.PlacementPolicy`;
+        #: ``None`` keeps the native first-fit-by-id heap path
+        self.placement = placement
 
     # -- capacity ----------------------------------------------------------
     @property
@@ -80,19 +83,38 @@ class NodePool:
     def fits(self, job: Job) -> bool:
         return job.n_nodes <= self.n_free
 
+    def fits_width(self, width: int) -> bool:
+        return width <= self.n_free
+
     # -- allocation -----------------------------------------------------------
-    def allocate(self, job: Job, now: float) -> tuple[int, ...]:
-        """First-fit-by-id allocation of ``job.n_nodes`` free nodes."""
-        if not self.fits(job):
+    def allocate(self, job: Job, now: float, width: int | None = None) -> tuple[int, ...]:
+        """Allocate ``width`` (default ``job.n_nodes``) free nodes.
+
+        First-fit-by-id unless a placement policy is attached; malleable
+        jobs may be started at any width in their declared range.
+        """
+        k = job.n_nodes if width is None else width
+        if not self.fits_width(k):
             raise SchedulingError(
-                f"job {job.job_id}: wants {job.n_nodes} nodes, {self.n_free} free"
+                f"job {job.job_id}: wants {k} nodes, {self.n_free} free"
             )
-        chosen = self._pop_smallest_free(job.n_nodes)
+        chosen = self._select_free(k)
         # Reservations must rest on the *kill limit* — the only bound the
         # system enforces.  Planning estimates (job.planned_s) steer
         # backfill eligibility, never reservation safety.
         self.running[job.job_id] = RunningJob(job, chosen, now + job.limit_s)
         self._ends_cache = None
+        return chosen
+
+    def _select_free(self, k: int) -> tuple[int, ...]:
+        """``k`` free ids via the placement policy or the first-fit heap."""
+        if self.placement is None:
+            return self._pop_smallest_free(k)
+        chosen = self.placement.select(self._free, k)
+        if chosen is None or len(chosen) != k:
+            raise SchedulingError(f"placement returned {chosen!r} for k={k}")
+        # Heap entries go stale; pops skip ids outside the free set.
+        self._free.difference_update(chosen)
         return chosen
 
     def _pop_smallest_free(self, k: int) -> tuple[int, ...]:
@@ -111,6 +133,52 @@ class NodePool:
 
     def _rebuild_heap(self) -> None:
         self._free_heap = sorted(self._free)
+
+    # -- malleability -----------------------------------------------------
+    def grow_allocation(self, job_id: int, k: int) -> tuple[int, ...]:
+        """Hand ``k`` more free nodes to a running job; returns them."""
+        try:
+            rec = self.running[job_id]
+        except KeyError:
+            raise SchedulingError(f"job {job_id}: not running") from None
+        if not self.fits_width(k):
+            raise SchedulingError(f"job {job_id}: grow wants {k} nodes, {self.n_free} free")
+        chosen = self._select_free(k)
+        rec.node_ids += chosen
+        self._ends_cache = None
+        return chosen
+
+    def shrink_allocation(self, job_id: int, node_ids: t.Sequence[int]) -> tuple[int, ...]:
+        """Take ``node_ids`` away from a running job; returns them.
+
+        Nodes currently marked down (a failure-driven shrink) are
+        removed from the record but *not* returned to the free set —
+        :meth:`mark_up` frees them on repair.
+        """
+        try:
+            rec = self.running[job_id]
+        except KeyError:
+            raise SchedulingError(f"job {job_id}: not running") from None
+        removed = tuple(node_ids)
+        held = set(rec.node_ids)
+        if not set(removed) <= held:
+            raise SchedulingError(f"job {job_id}: shrink nodes not held")
+        rec.node_ids = tuple(n for n in rec.node_ids if n not in set(removed))
+        self._ends_cache = None
+        back = tuple(nid for nid in removed if nid not in self._down)
+        self._free.update(back)
+        for nid in back:
+            heapq.heappush(self._free_heap, nid)
+        return removed
+
+    def retime(self, job_id: int, believed_end: float) -> None:
+        """Refresh a running job's believed end (post-resize retiming)."""
+        try:
+            rec = self.running[job_id]
+        except KeyError:
+            raise SchedulingError(f"job {job_id}: not running") from None
+        rec.believed_end = believed_end
+        self._ends_cache = None
 
     def release(self, job_id: int) -> tuple[int, ...]:
         """Free the nodes of a finished job; returns them."""

@@ -21,11 +21,26 @@ at the wall limit.
 from __future__ import annotations
 
 import typing as t
+from dataclasses import dataclass
 
 from repro.sched.allocator import NodePool
-from repro.sched.job import Job
+from repro.sched.job import Job, JobState
 from repro.sched.queue import JobQueue
 from repro.telemetry import facade as telemetry
+
+
+@dataclass(frozen=True)
+class ResizeDecision:
+    """One grow or shrink of a running malleable job.
+
+    The pool bookkeeping is already updated when the decision is
+    emitted (mirroring how ``plan`` allocates); the RM engine applies
+    the job/cluster/process side.
+    """
+
+    job: Job
+    added: tuple[int, ...] = ()
+    removed: tuple[int, ...] = ()
 
 
 class BackfillScheduler:
@@ -35,24 +50,50 @@ class BackfillScheduler:
         max_backfill_depth: how many queued jobs behind the head are
             considered for backfilling per pass (Slurm's
             ``bf_max_job_test`` analogue).
+        malleable: enable the elastic-job protocol — blocked heads may
+            start *shrunk*, running jobs grow into spare holes
+            (:meth:`plan_resizes`) and are contracted to admit a
+            blocked head.  Off by default: the rigid path stays
+            byte-identical to the paper's setting.
     """
 
     name = "backfill"
 
-    def __init__(self, max_backfill_depth: int = 100) -> None:
+    def __init__(self, max_backfill_depth: int = 100, malleable: bool = False) -> None:
         self.max_backfill_depth = max_backfill_depth
+        self.malleable = malleable
 
     def plan(self, queue: JobQueue, pool: NodePool, now: float) -> list[tuple[Job, tuple[int, ...]]]:
         """One scheduling pass; returns ``(job, node_ids)`` start decisions."""
         decisions: list[tuple[Job, tuple[int, ...]]] = []
-        # Phase 1: plain FCFS while the head fits.
+        # Phase 1: plain FCFS while the head fits.  In malleable mode a
+        # blocked elastic head may start *shrunk* (contracted under
+        # pressure) instead of waiting for its full reservation.
+        shrunk_starts = 0
         while True:
             head = queue.head()
-            if head is None or not pool.fits(head):
+            if head is None:
                 break
-            nodes = pool.allocate(head, now)
+            if pool.fits(head):
+                nodes = pool.allocate(head, now)
+            elif (
+                self.malleable
+                and head.malleable
+                and pool.n_free >= head.min_nodes
+            ):
+                width = pool.n_free if pool.n_free < head.n_nodes else head.n_nodes
+                nodes = pool.allocate(head, now, width)
+                # Work conservation stretches a shrunk job's wall clock;
+                # the reservation belief must stretch with it.
+                rec = pool.running[head.job_id]
+                rec.believed_end = now + head.limit_s * (head.n_nodes / width)
+                shrunk_starts += 1
+            else:
+                break
             queue.remove(head)
             decisions.append((head, nodes))
+        if shrunk_starts:
+            telemetry.count("sched.start.shrunk", shrunk_starts)
         head = queue.head()
         if head is None:
             return decisions
@@ -108,3 +149,84 @@ class BackfillScheduler:
         # smaller job backfill rather than starving the whole queue
         # behind an unsatisfiable head.
         return float("inf"), 0
+
+    # -- malleability ------------------------------------------------------
+    def plan_resizes(self, queue: JobQueue, pool: NodePool, now: float) -> list[ResizeDecision]:
+        """One elastic pass: contract to admit a blocked head, then grow.
+
+        Runs *after* :meth:`plan` on the post-start pool state, so the
+        head reservation is recomputed fresh — a growing job and a
+        backfilled job can never double-count the same spare nodes.
+        Pool bookkeeping is mutated here (exactly like ``plan``); the
+        engine applies the job/cluster side and retimes processes.
+
+        * **contraction**: when the blocked head cannot fit even at its
+          minimum width, running elastic jobs above their ``min_nodes``
+          donate nodes (highest ids first) — but only when the donations
+          fully cover the deficit;
+        * **growth**: spare free nodes are handed to running elastic
+          jobs below ``max_nodes``.  A grower believed to run past the
+          head's shadow time consumes the same ``extra_nodes`` budget
+          backfill charges, so the reservation stays safe.
+        """
+        if not self.malleable or not pool.running:
+            return []
+        decisions: list[ResizeDecision] = []
+
+        def elastic(rec: "t.Any") -> bool:
+            return rec.job.malleable and rec.job.state is JobState.RUNNING
+
+        head = queue.head()
+        if head is not None:
+            need = head.min_nodes if head.malleable else head.n_nodes
+            deficit = need - pool.n_free
+            if deficit > 0:
+                donors = [
+                    rec
+                    for _, rec in sorted(pool.running.items())
+                    if elastic(rec) and len(rec.node_ids) > rec.job.min_nodes
+                ]
+                capacity = sum(len(r.node_ids) - r.job.min_nodes for r in donors)
+                if capacity < deficit:
+                    return decisions  # partial shrinks would help nobody
+                for rec in donors:
+                    if deficit <= 0:
+                        break
+                    give = min(len(rec.node_ids) - rec.job.min_nodes, deficit)
+                    victims = tuple(sorted(rec.node_ids)[-give:])
+                    pool.shrink_allocation(rec.job.job_id, victims)
+                    decisions.append(ResizeDecision(rec.job, removed=victims))
+                    deficit -= give
+                # The freed nodes admit the head on the engine's follow-up
+                # pass; growing now would re-consume them.
+                return decisions
+        if pool.n_free == 0:
+            return decisions
+        growable = [
+            rec
+            for _, rec in sorted(pool.running.items())
+            if elastic(rec) and len(rec.node_ids) < rec.job.max_nodes
+        ]
+        if not growable:
+            return decisions
+        if queue.demand_nodes == 0:
+            # Nothing pending: every free node is spare.
+            shadow, extra = float("inf"), pool.n_free
+        else:
+            shadow, extra = self._reservation(head, pool, now)
+        for rec in growable:
+            if pool.n_free == 0:
+                break
+            want = min(rec.job.max_nodes - len(rec.node_ids), pool.n_free)
+            # Growers holding spares past the shadow burn the budget —
+            # the exact rule backfill applies to jobs it admits.
+            beyond_shadow = rec.believed_end > shadow
+            if beyond_shadow:
+                want = min(want, extra)
+            if want <= 0:
+                continue
+            added = pool.grow_allocation(rec.job.job_id, want)
+            decisions.append(ResizeDecision(rec.job, added=added))
+            if beyond_shadow:
+                extra -= want
+        return decisions

@@ -45,6 +45,10 @@ class Job:
             the user declined to give one.
         submit_time: submission timestamp (simulated seconds).
         cores_per_node: cores used on each allocated node.
+        min_nodes: smallest width a malleable job accepts (0 resolves to
+            ``n_nodes`` — a rigid job).
+        max_nodes: largest width a malleable job can exploit (0 resolves
+            to ``n_nodes``).
     """
 
     job_id: int
@@ -55,6 +59,8 @@ class Job:
     user_estimate_s: float | None
     submit_time: float
     cores_per_node: int = 1
+    min_nodes: int = 0
+    max_nodes: int = 0
 
     # -- scheduler-managed fields -------------------------------------
     state: JobState = JobState.PENDING
@@ -69,6 +75,13 @@ class Job:
     allocated_nodes: tuple[int, ...] = ()
     #: model estimate recorded for estimator bookkeeping (pre-slack)
     model_estimate_s: float | None = None
+    #: how many grow/shrink transitions this job went through
+    resize_count: int = 0
+    #: node-seconds integrated across resize segments (malleable jobs
+    #: only; rigid jobs keep the closed-form ``n_nodes * duration``)
+    alloc_node_seconds: float = 0.0
+    #: simulated time the current allocation width took effect
+    last_resize_time: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -77,6 +90,15 @@ class Job:
             raise SchedulingError(f"job {self.job_id}: runtime must be positive")
         if self.user_estimate_s is not None and self.user_estimate_s <= 0:
             raise SchedulingError(f"job {self.job_id}: user estimate must be positive")
+        if self.min_nodes == 0:
+            self.min_nodes = self.n_nodes
+        if self.max_nodes == 0:
+            self.max_nodes = self.n_nodes
+        if not 1 <= self.min_nodes <= self.n_nodes <= self.max_nodes:
+            raise SchedulingError(
+                f"job {self.job_id}: need 1 <= min_nodes <= n_nodes <= max_nodes, "
+                f"got {self.min_nodes}/{self.n_nodes}/{self.max_nodes}"
+            )
         if self.limit_s == 0.0:
             # Default belief: the user's estimate, else the true runtime
             # (a perfectly-informed fallback used by baseline runs).
@@ -88,25 +110,89 @@ class Job:
     def start(self, now: float, nodes: t.Sequence[int]) -> None:
         if self.state is not JobState.PENDING:
             raise SchedulingError(f"job {self.job_id}: start from state {self.state.value}")
-        if len(nodes) != self.n_nodes:
+        if self.malleable:
+            if not self.min_nodes <= len(nodes) <= self.max_nodes:
+                raise SchedulingError(
+                    f"job {self.job_id}: allocated {len(nodes)} nodes, accepts "
+                    f"[{self.min_nodes}, {self.max_nodes}]"
+                )
+        elif len(nodes) != self.n_nodes:
             raise SchedulingError(
                 f"job {self.job_id}: allocated {len(nodes)} nodes, wanted {self.n_nodes}"
             )
         self.state = JobState.RUNNING
         self.start_time = now
         self.allocated_nodes = tuple(nodes)
+        if self.malleable:
+            self.last_resize_time = now
+
+    # -- malleability ---------------------------------------------------
+    @property
+    def malleable(self) -> bool:
+        """Whether the job accepts widths other than ``n_nodes``."""
+        return self.min_nodes < self.max_nodes
+
+    @property
+    def width(self) -> int:
+        """Current allocation width (``n_nodes`` before start)."""
+        return len(self.allocated_nodes) if self.allocated_nodes else self.n_nodes
+
+    def _accumulate_segment(self, now: float) -> None:
+        assert self.last_resize_time is not None
+        self.alloc_node_seconds += (now - self.last_resize_time) * len(self.allocated_nodes)
+        self.last_resize_time = now
+
+    def grow(self, now: float, new_nodes: t.Sequence[int]) -> None:
+        """Widen a running malleable job by ``new_nodes``."""
+        if self.state is not JobState.RUNNING:
+            raise SchedulingError(f"job {self.job_id}: grow from state {self.state.value}")
+        if not self.malleable:
+            raise SchedulingError(f"job {self.job_id}: not malleable")
+        added = tuple(new_nodes)
+        if set(added) & set(self.allocated_nodes):
+            raise SchedulingError(f"job {self.job_id}: grow nodes overlap allocation")
+        if len(self.allocated_nodes) + len(added) > self.max_nodes:
+            raise SchedulingError(
+                f"job {self.job_id}: grow past max_nodes={self.max_nodes}"
+            )
+        self._accumulate_segment(now)
+        self.allocated_nodes += added
+        self.resize_count += 1
+
+    def shrink(self, now: float, removed_nodes: t.Sequence[int]) -> None:
+        """Narrow a running malleable job, releasing ``removed_nodes``."""
+        if self.state is not JobState.RUNNING:
+            raise SchedulingError(f"job {self.job_id}: shrink from state {self.state.value}")
+        if not self.malleable:
+            raise SchedulingError(f"job {self.job_id}: not malleable")
+        removed = set(removed_nodes)
+        if not removed <= set(self.allocated_nodes):
+            raise SchedulingError(f"job {self.job_id}: shrink nodes not in allocation")
+        if len(self.allocated_nodes) - len(removed) < self.min_nodes:
+            raise SchedulingError(
+                f"job {self.job_id}: shrink below min_nodes={self.min_nodes}"
+            )
+        self._accumulate_segment(now)
+        self.allocated_nodes = tuple(n for n in self.allocated_nodes if n not in removed)
+        self.resize_count += 1
 
     def finish(self, now: float, state: JobState = JobState.COMPLETED) -> None:
         if self.state is not JobState.RUNNING:
             raise SchedulingError(f"job {self.job_id}: finish from state {self.state.value}")
         if state not in TERMINAL_STATES:
             raise SchedulingError(f"job {self.job_id}: {state.value} is not terminal")
+        if self.last_resize_time is not None:
+            self._accumulate_segment(now)
+            self.last_resize_time = None
         self.state = state
         self.end_time = now
 
     def cancel(self, now: float) -> None:
         if self.state in TERMINAL_STATES:
             raise SchedulingError(f"job {self.job_id}: already terminal")
+        if self.last_resize_time is not None:
+            self._accumulate_segment(now)
+            self.last_resize_time = None
         self.state = JobState.CANCELLED
         self.end_time = now
 
@@ -141,6 +227,9 @@ class Job:
     def node_seconds(self) -> float:
         if self.start_time is None or self.end_time is None:
             return 0.0
+        if self.alloc_node_seconds > 0.0:
+            # Malleable jobs integrate the actual width over time.
+            return self.alloc_node_seconds
         return self.n_nodes * (self.end_time - self.start_time)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

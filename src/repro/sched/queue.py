@@ -18,6 +18,7 @@ class JobQueue:
     def __init__(self) -> None:
         self._jobs: list[Job] = []
         self._ids: set[int] = set()
+        self._demand = 0
 
     def __len__(self) -> int:
         return len(self._jobs)
@@ -39,6 +40,7 @@ class JobQueue:
             raise SchedulingError(f"job {job.job_id}: already queued")
         self._jobs.append(job)
         self._ids.add(job.job_id)
+        self._demand += job.n_nodes
 
     def head(self) -> Job | None:
         """Oldest pending job, or ``None``."""
@@ -50,6 +52,17 @@ class JobQueue:
             raise SchedulingError(f"job {job.job_id}: not in queue")
         self._jobs.remove(job)
         self._ids.discard(job.job_id)
+        self._demand -= job.n_nodes
+
+    @property
+    def demand_nodes(self) -> int:
+        """Total nodes requested by pending jobs (O(1), kept incrementally).
+
+        The malleable grow pass consults this to decide whether free
+        capacity is truly spare: an empty queue means holes can be handed
+        to running elastic jobs without delaying anyone.
+        """
+        return self._demand
 
     def pending_after_head(self) -> list[Job]:
         """Jobs behind the head, in order (backfill candidates)."""

@@ -49,6 +49,10 @@ class WorkloadConfig:
         burst_mean: mean size of a submission burst — users submit the
             same script several times back-to-back (sweeps, job arrays),
             which correlates adjacent job IDs in Fig. 5c.
+        malleable_fraction: chance a generated job is *elastic* — it
+            declares ``min_nodes``/``max_nodes`` around its request and
+            accepts runtime grow/shrink (the DMR model; 0.0 keeps the
+            paper's rigid traces byte-identical).
         name: preset label.
     """
 
@@ -67,6 +71,7 @@ class WorkloadConfig:
     burst_mean: float = 3.0
     session_hours: float = 14.0
     session_gap_hours: float = 30.0
+    malleable_fraction: float = 0.0
     name: str = "generic"
 
     def __post_init__(self) -> None:
@@ -75,6 +80,7 @@ class WorkloadConfig:
             self.overestimate_prob,
             self.evening_bias,
             self.no_estimate_prob,
+            self.malleable_fraction,
         ):
             if not 0.0 <= p <= 1.0:
                 raise ConfigurationError("probabilities must be in [0, 1]")
@@ -183,6 +189,13 @@ def generate_trace(
         nodes = app.sample_nodes(rng, config.max_nodes)
         for b in range(burst):
             runtime = max(app.sample_runtime(rng, nodes), 10.0)
+            # Elastic-job range (DMR model): strictly gated so the RNG
+            # stream — and hence every existing trace — is untouched
+            # when the fraction is 0.
+            min_nodes = max_nodes = 0
+            if config.malleable_fraction > 0.0 and rng.random() < config.malleable_fraction:
+                min_nodes = max(1, nodes // 2)
+                max_nodes = max(min(config.max_nodes, nodes * 2), nodes)
             jobs.append(
                 Job(
                     job_id=job_id_base + len(jobs),
@@ -192,6 +205,8 @@ def generate_trace(
                     runtime_s=runtime,
                     user_estimate_s=_user_estimate(runtime, config, rng),
                     submit_time=submit + b * float(rng.uniform(1.0, 30.0)),
+                    min_nodes=min_nodes,
+                    max_nodes=max_nodes,
                 )
             )
     jobs.sort(key=lambda j: j.submit_time)

@@ -26,11 +26,18 @@ class TestScenarioCatalogue:
         assert set(SCENARIOS) == {
             "failure-storm", "rolling-maintenance",
             "master-takeover-cascade", "flapping-node",
+            "malleable-shrink-storm", "topology-storm",
         }
 
     def test_unknown_scenario_lists_known_names(self):
         with pytest.raises(ConfigurationError, match="failure-storm"):
             get_scenario("nope")
+
+    def test_unknown_scenario_is_not_a_keyerror(self):
+        # The CLI turns ConfigurationError into a usage error; a raw
+        # KeyError would surface as a traceback instead.
+        with pytest.raises(ConfigurationError, match="no-such-thing"):
+            get_scenario("no-such-thing")
 
     def test_schedules_are_seed_deterministic_and_sorted(self):
         import numpy as np
@@ -77,6 +84,31 @@ class TestCampaignRuns:
         report = run_scenario("flapping-node", seed=3)
         assert report.repro_hint() == "repro chaos run flapping-node --seed 3"
         assert "violations: 0" in report.to_text()
+
+
+class TestMalleableScenarios:
+    def test_shrink_storm_resizes_and_stays_clean(self):
+        report = run_scenario("malleable-shrink-storm", seed=0)
+        assert report.ok, report.to_text()
+        assert report.jobs_grown + report.jobs_shrunk > 0
+        assert "resizes:" in report.to_text()
+
+    def test_rigid_scenarios_report_zero_resizes(self):
+        report = run_scenario("failure-storm", seed=0)
+        assert report.jobs_grown == 0
+        assert report.jobs_shrunk == 0
+
+    def test_shrink_storm_deterministic(self):
+        a = run_scenario("malleable-shrink-storm", seed=2)
+        b = run_scenario("malleable-shrink-storm", seed=2)
+        assert a == b
+        assert a.to_text() == b.to_text()
+
+    def test_topology_storm_deterministic_and_clean(self):
+        a = run_scenario("topology-storm", seed=2)
+        b = run_scenario("topology-storm", seed=2)
+        assert a.ok, a.to_text()
+        assert a == b
 
 
 class TestDdmin:

@@ -249,7 +249,7 @@ class TestRegistry:
         a, b = default_invariants(), default_invariants()
         assert {i.name for i in a} == {
             "satellite-legality", "node-conservation", "fptree-soundness",
-            "eq1-correctness", "scheduler-conservation",
+            "eq1-correctness", "scheduler-conservation", "malleable-width",
         }
         assert all(x is not y for x, y in zip(a, b))
 
@@ -286,5 +286,5 @@ class TestRegistry:
         registry = InvariantRegistry(default_invariants())
         assert [name for name, _ in registry.counts()] == [
             "satellite-legality", "node-conservation", "fptree-soundness",
-            "eq1-correctness", "scheduler-conservation",
+            "eq1-correctness", "scheduler-conservation", "malleable-width",
         ]

@@ -73,3 +73,77 @@ class TestHelpers:
     def test_invalid_dimensions_rejected(self):
         with pytest.raises(ConfigurationError):
             Topology(nodes_per_board=0)
+
+
+#: irregular layouts (tiny boards, degenerate 1-wide levels) crossed
+#: with cluster sizes that do not divide evenly into any container
+topologies = st.builds(
+    Topology,
+    nodes_per_board=st.integers(1, 8),
+    boards_per_chassis=st.integers(1, 8),
+    chassis_per_rack=st.integers(1, 4),
+)
+
+
+class TestPropertySweep:
+    """Edge-case sweep: single-rack clusters, partial racks, odd sizes."""
+
+    @given(topologies, st.integers(0, 5000))
+    def test_coordinates_consistent_with_hop_level(self, topo, nid):
+        rack, chassis, board = topo.coordinates(nid)
+        assert board // topo.boards_per_chassis == chassis
+        assert chassis // topo.chassis_per_rack == rack
+
+    @given(topologies, st.integers(0, 5000), st.integers(0, 5000))
+    def test_hop_level_matches_coordinates(self, topo, a, b):
+        level = topo.hop_level(a, b)
+        ra, ca, ba = topo.coordinates(a)
+        rb, cb, bb = topo.coordinates(b)
+        if a == b:
+            assert level is HopLevel.SAME_NODE
+        elif ba == bb:
+            assert level is HopLevel.SAME_BOARD
+        elif ca == cb:
+            assert level is HopLevel.SAME_CHASSIS
+        elif ra == rb:
+            assert level is HopLevel.SAME_RACK
+        else:
+            assert level is HopLevel.CROSS_RACK
+
+    @given(topologies, st.integers(1, 3000))
+    def test_racks_partition_cluster(self, topo, total):
+        # Every node lands in exactly one rack; the last rack may be
+        # partial (total not divisible by the rack size) but never empty.
+        racks = topo.racks_for(total)
+        seen = []
+        for rack in range(racks):
+            ids = topo.nodes_in_rack(rack, total)
+            assert len(ids) >= 1
+            assert all(topo.rack_of(nid) == rack for nid in ids)
+            seen.extend(ids)
+        assert seen == list(range(total))
+        assert len(topo.nodes_in_rack(racks, total)) == 0
+
+    @given(topologies, st.integers(1, 3000))
+    def test_last_rack_size(self, topo, total):
+        racks = topo.racks_for(total)
+        last = topo.nodes_in_rack(racks - 1, total)
+        remainder = total % topo.nodes_per_rack
+        assert len(last) == (remainder if remainder else topo.nodes_per_rack)
+
+    @given(st.integers(1, 512), st.integers(0, 511), st.integers(0, 511))
+    def test_single_rack_cluster_never_crosses_racks(self, total, a, b):
+        # Any cluster that fits one rack: no pair can be CROSS_RACK.
+        topo = Topology(nodes_per_board=8, boards_per_chassis=16, chassis_per_rack=4)
+        a, b = a % total, b % total
+        assert total <= topo.nodes_per_rack
+        assert topo.hop_level(a, b) is not HopLevel.CROSS_RACK
+
+    @given(topologies, st.integers(1, 3000))
+    def test_cluster_not_divisible_by_chassis(self, topo, total):
+        # A cluster size straddling a chassis boundary must still give
+        # every node a valid chassis whose global index is in range.
+        n_chassis = -(-total // topo.nodes_per_chassis)
+        for nid in (0, total // 2, total - 1):
+            _, chassis, _ = topo.coordinates(nid)
+            assert 0 <= chassis < n_chassis

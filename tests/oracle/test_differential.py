@@ -13,7 +13,9 @@ from repro.oracle.differential import (
     DIFFERENTIAL_RELATIONS,
     EstimatorGateRelation,
     FPTreeFailureBoundRelation,
+    MalleableThroughputRelation,
     MasterOffloadRelation,
+    TopologyPlacementRelation,
 )
 
 
@@ -30,11 +32,21 @@ class TestRelationsHold:
         result = EstimatorGateRelation().run(seed=oracle_seed)
         assert result.ok, result.detail
 
-    def test_registry_is_the_three_relations(self):
+    def test_malleable_throughput(self, oracle_seed):
+        result = MalleableThroughputRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_topology_placement(self, oracle_seed):
+        result = TopologyPlacementRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_registry_is_the_five_relations(self):
         assert [type(r) for r in DIFFERENTIAL_RELATIONS] == [
             MasterOffloadRelation,
             FPTreeFailureBoundRelation,
             EstimatorGateRelation,
+            MalleableThroughputRelation,
+            TopologyPlacementRelation,
         ]
 
 
@@ -67,3 +79,40 @@ class TestPerturbationsAreCaught:
         relation.TOLERANCE = 1e-6
         result = relation.run(seed=0)
         assert not result.ok
+
+    def test_crippled_elastic_arm_fails_throughput(self):
+        # Give the malleable arm a quarter of the horizon: it must now
+        # complete fewer jobs, and the ordering has to catch it.
+        class Crippled(MalleableThroughputRelation):
+            def _arm(self, seed, malleable):
+                if not malleable:
+                    return super()._arm(seed, malleable)
+                saved = self.horizon_s
+                self.horizon_s = saved / 4
+                try:
+                    return super()._arm(seed, malleable)
+                finally:
+                    self.horizon_s = saved
+
+        result = Crippled().run(seed=0)
+        assert not result.ok
+        assert "fewer jobs" in result.detail
+
+    def test_spread_placement_fails_fragmentation(self, monkeypatch):
+        # A "topology" policy that strides across the free list scatters
+        # allocations and drops the first-fit floor: it must score worse
+        # than first-fit on some pool state, which the relation rejects.
+        import repro.oracle.differential as diff
+
+        class Spread(diff.TopologyAwarePlacement):
+            def _compact_pick(self, candidates, k):
+                step = max(1, len(candidates) // k)
+                pick = candidates[::step][:k]
+                if len(pick) < k:
+                    pick = candidates[:k]
+                return tuple(pick)
+
+        monkeypatch.setattr(diff, "TopologyAwarePlacement", Spread)
+        result = TopologyPlacementRelation().run(seed=0)
+        assert not result.ok
+        assert "scored worse" in result.detail

@@ -7,9 +7,12 @@ from repro.oracle.metamorphic import (
     CapacityMonotonicityRelation,
     JitterStabilityRelation,
     JobSpec,
+    RackRelabelScoreRelation,
     RelabelInvarianceRelation,
     RuntimeScalingRelation,
     SeedSensitivityRelation,
+    ShrinkChaosInvariantsRelation,
+    ShrinkGrowRoundTripRelation,
     replay,
     specs_from_trace,
 )
@@ -82,13 +85,29 @@ class TestRelationsHold:
         result = SeedSensitivityRelation().run(seed=oracle_seed)
         assert result.ok, result.detail
 
-    def test_registry_has_all_five(self):
+    def test_shrink_grow_roundtrip(self, oracle_seed):
+        result = ShrinkGrowRoundTripRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_rack_relabel_score(self, oracle_seed):
+        result = RackRelabelScoreRelation().run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_shrink_chaos_invariants(self):
+        result = ShrinkChaosInvariantsRelation().run(seed=0)
+        assert result.ok, result.detail
+        assert "shrink" in result.detail
+
+    def test_registry_has_all_eight(self):
         assert {type(r) for r in METAMORPHIC_RELATIONS} == {
             RelabelInvarianceRelation,
             JitterStabilityRelation,
             RuntimeScalingRelation,
             CapacityMonotonicityRelation,
             SeedSensitivityRelation,
+            ShrinkGrowRoundTripRelation,
+            RackRelabelScoreRelation,
+            ShrinkChaosInvariantsRelation,
         }
 
 
@@ -140,3 +159,38 @@ class TestPerturbationsAreCaught:
 
         monkeypatch.setattr(meta, "replay", reordered)
         assert not JitterStabilityRelation().run(seed=0).ok
+
+    def test_leaky_grow_fails_roundtrip(self, monkeypatch):
+        # A pool whose grow hands back one node too few leaks capacity;
+        # the round-trip must spot the divergence, not paper over it.
+        from repro.sched.allocator import NodePool
+
+        real = NodePool.grow_allocation
+
+        def leaky(self, job_id, k):
+            grown = real(self, job_id, max(k - 1, 0))
+            return grown
+
+        monkeypatch.setattr(NodePool, "grow_allocation", leaky)
+        result = ShrinkGrowRoundTripRelation().run(seed=0)
+        assert not result.ok
+
+    def test_offset_relabel_breaks_score_invariance(self, monkeypatch):
+        # A relabelling that shifts nodes by half a rack is NOT a rack
+        # permutation — the relation's sensitivity check: feeding it a
+        # non-structure-preserving map must fail.
+        import repro.oracle.metamorphic as meta
+
+        real = meta.placement_score
+        calls = {"n": 0}
+
+        def skewed(nodes, topo):
+            calls["n"] += 1
+            # every second call sees a shifted node set
+            if calls["n"] % 2 == 0:
+                nodes = tuple(v + topo.nodes_per_board for v in nodes)
+                return real(nodes, topo) + 0.5
+            return real(nodes, topo)
+
+        monkeypatch.setattr(meta, "placement_score", skewed)
+        assert not RackRelabelScoreRelation().run(seed=0).ok

@@ -72,6 +72,49 @@ class TestVerifyCli:
         assert "verify: OK" in capsys.readouterr().out
 
 
+class TestRelationFilter:
+    def test_run_verify_filters_by_name(self):
+        report = run_verify(seed=0, relations=["rack-relabel-score"])
+        assert [r.relation for r in report.results] == ["rack-relabel-score"]
+        assert report.ok
+
+    def test_filter_spans_both_layers(self):
+        report = run_verify(
+            seed=0, relations=["rack-relabel-score", "shrink-grow-roundtrip"]
+        )
+        assert {r.relation for r in report.results} == {
+            "rack-relabel-score", "shrink-grow-roundtrip",
+        }
+
+    def test_filter_drops_golden_layer(self):
+        # Golden checks are frozen scenarios, not named relations — a
+        # filter silently skipping them beats failing on every run.
+        report = run_verify(seed=0, relations=["rack-relabel-score"])
+        assert all(r.layer != "golden" for r in report.results)
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(ValueError, match="unknown relations"):
+            run_verify(seed=0, relations=["no-such-relation"])
+
+    def test_cli_relation_flag(self, capsys):
+        rc = main(["verify", "--relation", "rack-relabel-score", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rack-relabel-score" in out and "1/1 relations held" in out
+
+    def test_cli_unknown_relation_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["verify", "--relation", "no-such-thing"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "no-such-thing" in err and "malleable-throughput" in err
+
+    def test_cli_relation_conflicts_with_update_golden(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["verify", "--relation", "rack-relabel-score", "--update-golden"])
+        assert exc.value.code == 2
+
+
 class TestVerifyExitCodes:
     @pytest.fixture()
     def tampered_golden(self, tmp_path):
