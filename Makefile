@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale verify-smoke sweep-smoke malleable-smoke lint-imports
+.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale verify-smoke sweep-smoke malleable-smoke serve-smoke lint-imports
 
 ## Full tier-1 suite (the CI gate).
 test:
@@ -85,5 +85,20 @@ malleable-smoke:
 	$(PYTHON) -m repro.cli chaos run malleable-shrink-storm topology-storm --seed 7 -j 2
 	$(PYTHON) -m repro.cli verify --relation malleable-throughput --relation topology-fragmentation --seeds 2 -j 2
 
+## Smoke: the gateway end to end — the typed-API and serve suites must
+## pass, the load test must replay entirely from cache with
+## byte-identical bodies, and two runs at the same seed must agree on
+## every non-wall-clock byte of BENCH_serve.json.
+serve-smoke:
+	$(PYTHON) -m pytest -q tests/serve tests/api
+	$(PYTHON) -m repro.cli bench serve-load --requests 4 --concurrency 2 --workers 0 --out .serve-smoke-a.json
+	$(PYTHON) -m repro.cli bench serve-load --requests 4 --concurrency 2 --workers 0 --out .serve-smoke-b.json
+	$(PYTHON) -c "from repro.serve import load_serve, deterministic_view, dump_serve; \
+	a = dump_serve(deterministic_view(load_serve('.serve-smoke-a.json'))); \
+	b = dump_serve(deterministic_view(load_serve('.serve-smoke-b.json'))); \
+	assert a == b, 'serve load-test is not seed-deterministic'; \
+	print('serve determinism check: OK')"
+	rm -f .serve-smoke-a.json .serve-smoke-b.json
+
 lint-imports:
-	$(PYTHON) -c "import repro, repro.api, repro.bench, repro.chaos, repro.oracle, repro.parallel, repro.telemetry, repro.cli"
+	$(PYTHON) -c "import repro, repro.api, repro.bench, repro.chaos, repro.oracle, repro.parallel, repro.serve, repro.telemetry, repro.cli"

@@ -12,6 +12,12 @@ It subsumes the helpers that historically lived in
 ``run_rm_day`` — those import paths still resolve but emit a
 ``DeprecationWarning``) and adds keyword-only dataclass configs so every
 knob is named at the call site.
+
+:mod:`repro.api.requests` adds the typed request/response envelopes —
+``SimulateRequest`` / ``ChaosRequest`` / ``VerifyRequest`` /
+``EstimateRequest`` with canonical cache-key digests, and the single
+:func:`dispatch` entry point the CLI subcommands and the
+:mod:`repro.serve` gateway both adapt.  All of it is re-exported here.
 """
 
 from __future__ import annotations
@@ -254,3 +260,25 @@ def run_simulation(
         )
         snapshot = tel.snapshot() if tel is not None else None
     return SimulationResult(config=config, report=report, telemetry=snapshot)
+
+
+# The envelope layer builds on the facade above; imported last so the
+# names it needs (SimulationConfig, run_simulation...) already exist.
+from repro.api.requests import (  # noqa: E402
+    REQUEST_KINDS,
+    REQUEST_TYPES,
+    ChaosRequest,
+    ChaosResponse,
+    EstimateRequest,
+    EstimateResponse,
+    Request,
+    Response,
+    SimulateRequest,
+    SimulateResponse,
+    VerifyRequest,
+    VerifyResponse,
+    canonical_json,
+    dispatch,
+    dispatch_wire,
+    request_from_wire,
+)

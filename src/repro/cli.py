@@ -27,14 +27,25 @@ Installed as ``repro-eslurm`` (alias ``repro``)::
     repro verify list               # the relation catalogue
     repro bench check BENCH_*.json  # judge bench files against the relations
 
-``bench``, ``chaos``, and ``verify`` are registered through the same
-:class:`Subcommand` pattern and share the ``--seed`` / ``--json`` /
-``--out`` flags plus the sweep-parallelism flag ``-j/--jobs`` (default
-1 = the serial path, ``-j 0`` = cpu autodetect; sweeps fan out over
-spawn-based workers via :mod:`repro.parallel` and merge results keyed
-by task id, so output is byte-identical at any ``-j``).  New tool
-families plug in by adding a table entry.  Every checking verb exits
-nonzero when any check fails.
+    repro simulate --rm slurm --n-nodes 4096 --json
+    repro estimate --n-history 300 --job-nodes 8
+    repro serve --port 8421 --workers 4   # the HTTP/JSON gateway
+    repro bench serve-load          # record benchmarks/BENCH_serve.json
+
+Every tool family is registered through the same :class:`Subcommand`
+pattern and shares the ``--seed`` / ``--json`` / ``--out`` flags plus
+the sweep-parallelism flag ``-j/--jobs`` via argparse *parent parsers*
+(default 1 = the serial path, ``-j 0`` = cpu autodetect; sweeps fan out
+over spawn-based workers via :mod:`repro.parallel` and merge results
+keyed by task id, so output is byte-identical at any ``-j``).  New tool
+families plug in by adding a table entry.
+
+The subcommands are thin adapters over :func:`repro.api.dispatch`: each
+builds a typed request envelope, dispatches it, and renders the typed
+response — the same call path the :mod:`repro.serve` gateway queues.
+Exit codes are documented on :func:`main` and shared with the
+gateway's HTTP statuses; every checking verb exits 1 when a check
+fails.
 """
 
 from __future__ import annotations
@@ -53,33 +64,51 @@ from repro._version import __version__
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class Subcommand:
-    """One verb of a tool family (``repro <family> <name> ...``)."""
+    """One verb of a tool family (``repro <family> <name> ...``).
+
+    The shared flag sets every family spells identically — ``--seed`` /
+    ``--json`` / ``--out`` and the sweep flag ``-j/--jobs`` — are not
+    wired per subcommand; declaring ``common=True`` / ``jobs=True``
+    attaches the corresponding parent parser in :func:`dispatch`, so
+    the flags exist exactly once and cannot drift between families.
+    """
 
     name: str
     help: str
     configure: t.Callable[[argparse.ArgumentParser], None]
     run: t.Callable[[argparse.Namespace], int]
+    #: attach the --seed/--json/--out parent parser
+    common: bool = False
+    #: override the --out help string for this verb
+    out_help: str | None = None
+    #: attach the -j/--jobs parent parser
+    jobs: bool = False
 
 
-def add_common_flags(
-    parser: argparse.ArgumentParser,
-    out_help: str = "write output to this path instead of stdout",
-) -> None:
-    """The flags every tool-family subcommand spells the same way."""
-    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
-    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
-    parser.add_argument("--out", default=None, help=out_help)
+def common_parent(out_help: str | None = None) -> argparse.ArgumentParser:
+    """The ``--seed/--json/--out`` flags as an argparse parent parser."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parent.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parent.add_argument(
+        "--out",
+        default=None,
+        help=out_help or "write output to this path instead of stdout",
+    )
+    return parent
 
 
-def add_jobs_flag(parser: argparse.ArgumentParser) -> None:
-    """The shared sweep-parallelism flag (``repro <family> ... -j N``)."""
-    parser.add_argument(
+def jobs_parent() -> argparse.ArgumentParser:
+    """The sweep-parallelism flag ``-j/--jobs`` as a parent parser."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "-j",
         "--jobs",
         type=int,
         default=1,
         help="worker processes for the sweep (default 1 = serial; 0 = cpu autodetect)",
     )
+    return parent
 
 
 def dispatch(
@@ -92,7 +121,12 @@ def dispatch(
     parser = argparse.ArgumentParser(prog=prog, description=description)
     sub = parser.add_subparsers(dest="command", required=True)
     for command in commands:
-        cmd_parser = sub.add_parser(command.name, help=command.help)
+        parents = []
+        if command.common:
+            parents.append(common_parent(command.out_help))
+        if command.jobs:
+            parents.append(jobs_parent())
+        cmd_parser = sub.add_parser(command.name, help=command.help, parents=parents)
         command.configure(cmd_parser)
         cmd_parser.set_defaults(_run=command.run, _parser=cmd_parser)
     args = parser.parse_args(argv)
@@ -133,8 +167,6 @@ def _bench_run_configure(parser: argparse.ArgumentParser) -> None:
         help="run under cProfile and print the hottest functions "
         "(defaults to the 16K-node paper-scale scenario; skips file output)",
     )
-    add_common_flags(parser, out_help="directory for BENCH_*.json files (default: cwd)")
-    add_jobs_flag(parser)
 
 
 def _bench_run(args: argparse.Namespace) -> int:
@@ -188,9 +220,6 @@ def _bench_baseline_configure(parser: argparse.ArgumentParser) -> None:
         "names",
         nargs="*",
         help="paper-scale tiers to record (default: all three)",
-    )
-    add_common_flags(
-        parser, out_help="baseline file path (default: benchmarks/BENCH_paper_scale.json)"
     )
 
 
@@ -253,7 +282,6 @@ def _bench_compare_configure(parser: argparse.ArgumentParser) -> None:
         help="wall-fence attempts per tier — a first run over the fence is "
         "re-run and judged on the best wall (default 3; 1 = single run)",
     )
-    add_common_flags(parser)
 
 
 def _bench_compare(args: argparse.Namespace) -> int:
@@ -313,9 +341,6 @@ def _bench_sweep_configure(parser: argparse.ArgumentParser) -> None:
         help="comma-separated jobs levels for the scaling table (default 1,2,4; "
         "the serial level 1 is always included as the baseline)",
     )
-    add_common_flags(
-        parser, out_help="sweep file path (default: benchmarks/BENCH_sweep.json)"
-    )
 
 
 def _bench_sweep(args: argparse.Namespace) -> int:
@@ -352,7 +377,6 @@ def _bench_files_configure(parser: argparse.ArgumentParser) -> None:
 def _bench_report_configure(parser: argparse.ArgumentParser) -> None:
     _bench_files_configure(parser)
     parser.add_argument("--markdown", action="store_true", help="render a markdown table")
-    add_common_flags(parser)
 
 
 def _bench_report(args: argparse.Namespace) -> int:
@@ -402,10 +426,65 @@ def _bench_check(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _bench_serve_load_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=8,
+        help="unique requests in the mix (each is sent twice: miss then "
+        "replay; default 8)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=4,
+        help="simultaneous HTTP clients (default 4)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="gateway pool workers (default 2; 0 = inline)",
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="gateway admission-queue bound (default 64)",
+    )
+
+
+def _bench_serve_load(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.serve import SERVE_PATH, dump_serve, render_serve, run_serve_load
+
+    try:
+        payload = run_serve_load(
+            seed=args.seed,
+            n_unique=args.requests,
+            concurrency=args.concurrency,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            progress=None if args.json else print,
+        )
+    except Exception as exc:
+        args._parser.error(str(exc))
+    text = dump_serve(payload)
+    if args.json:
+        print(text, end="")
+    path = Path(args.out if args.out is not None else SERVE_PATH)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    print(f"serve load-test written -> {path}")
+    return 0 if payload["replay_byte_identical"] and not payload["failed"] else 1
+
+
 BENCH_COMMANDS = (
     Subcommand("list", "enumerate the scenario matrix", lambda p: None, _bench_list),
-    Subcommand("run", "execute scenarios and write BENCH_*.json", _bench_run_configure, _bench_run),
-    Subcommand("report", "render bench files as a table", _bench_report_configure, _bench_report),
+    Subcommand(
+        "run", "execute scenarios and write BENCH_*.json", _bench_run_configure,
+        _bench_run, common=True,
+        out_help="directory for BENCH_*.json files (default: cwd)", jobs=True,
+    ),
+    Subcommand(
+        "report", "render bench files as a table", _bench_report_configure,
+        _bench_report, common=True,
+    ),
     Subcommand("validate", "schema-check bench files", _bench_files_configure, _bench_validate),
     Subcommand(
         "check", "judge bench files against the paper-shaped relations",
@@ -413,15 +492,22 @@ BENCH_COMMANDS = (
     ),
     Subcommand(
         "baseline", "record the paper-scale wall-time baseline file",
-        _bench_baseline_configure, _bench_baseline,
+        _bench_baseline_configure, _bench_baseline, common=True,
+        out_help="baseline file path (default: benchmarks/BENCH_paper_scale.json)",
     ),
     Subcommand(
         "compare", "re-run paper-scale tiers against the checked-in baseline",
-        _bench_compare_configure, _bench_compare,
+        _bench_compare_configure, _bench_compare, common=True,
     ),
     Subcommand(
         "sweep", "record the matrix sweep-scaling file (jobs=1/2/4 walls + digests)",
-        _bench_sweep_configure, _bench_sweep,
+        _bench_sweep_configure, _bench_sweep, common=True,
+        out_help="sweep file path (default: benchmarks/BENCH_sweep.json)",
+    ),
+    Subcommand(
+        "serve-load", "load-test the gateway and record benchmarks/BENCH_serve.json",
+        _bench_serve_load_configure, _bench_serve_load, common=True,
+        out_help="serve file path (default: benchmarks/BENCH_serve.json)",
     ),
 )
 
@@ -456,12 +542,10 @@ def _chaos_run_configure(parser: argparse.ArgumentParser) -> None:
         help="on violation, ddmin-minimise the fault schedule and print it "
         "(single scenario/seed runs only)",
     )
-    add_common_flags(parser)
-    add_jobs_flag(parser)
 
 
 def _chaos_run(args: argparse.Namespace) -> int:
-    from repro.chaos import get_scenario, run_campaign, run_scenario, shrink_schedule
+    from repro.chaos import get_scenario, run_campaign, shrink_schedule
 
     try:
         for name in args.scenarios:
@@ -485,8 +569,14 @@ def _chaos_run(args: argparse.Namespace) -> int:
         else:
             _emit(outcome.to_text(), args.out)
         return 0 if outcome.ok else 1
-    scenario = get_scenario(args.scenarios[0])
-    report = run_scenario(scenario, seed=args.seed)
+    # single run: a thin adapter over the typed envelope — the report
+    # object is the same one run_scenario returns, so output is
+    # byte-identical to the pre-envelope CLI
+    from repro.api import ChaosRequest
+    from repro.api import dispatch as api_dispatch
+
+    response = api_dispatch(ChaosRequest(scenario=args.scenarios[0], seed=args.seed))
+    report = response.report
     if args.json:
         _emit(json.dumps(asdict(report), sort_keys=True, indent=2), args.out)
     else:
@@ -494,6 +584,7 @@ def _chaos_run(args: argparse.Namespace) -> int:
     if report.ok:
         return 0
     if args.shrink:
+        scenario = get_scenario(args.scenarios[0])
         minimal = shrink_schedule(scenario, seed=args.seed, schedule=report.schedule)
         print()
         print(f"minimal failing schedule ({len(minimal)} of {len(report.schedule)} faults):")
@@ -508,7 +599,8 @@ def _chaos_run(args: argparse.Namespace) -> int:
 CHAOS_COMMANDS = (
     Subcommand("list", "enumerate the scenario catalogue", lambda p: None, _chaos_list),
     Subcommand(
-        "run", "execute one scenario and report violations", _chaos_run_configure, _chaos_run
+        "run", "execute one scenario and report violations", _chaos_run_configure,
+        _chaos_run, common=True, jobs=True,
     ),
 )
 
@@ -562,8 +654,6 @@ def _verify_run_configure(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="sweep this many consecutive seeds starting at --seed (default 1)",
     )
-    add_common_flags(parser)
-    add_jobs_flag(parser)
 
 
 def _verify_run(args: argparse.Namespace) -> int:
@@ -606,16 +696,35 @@ def _verify_run(args: argparse.Namespace) -> int:
                 f"relations held over {args.seeds} seed(s)"
             )
         return 0 if sweep.ok else 1
+    from repro.errors import ConfigurationError
+
+    progress = None if args.json or args.out else print
     try:
-        report = run_verify(
-            seed=args.seed,
-            layers=layers,
-            golden_dir=golden_dir,
-            update_golden=args.update_golden,
-            progress=None if args.json or args.out else print,
-            relations=args.relation,
-        )
-    except ValueError as exc:
+        if golden_dir is None and not args.update_golden:
+            # the typed-envelope path: same run_verify underneath, same
+            # report object, byte-identical output
+            from repro.api import VerifyRequest
+            from repro.api import dispatch as api_dispatch
+
+            request = VerifyRequest(
+                seed=args.seed,
+                layers=layers,
+                relations=tuple(args.relation) if args.relation else None,
+            )
+            report = api_dispatch(request, progress=progress).report
+        else:
+            # golden-dir overrides and --update-golden are operator
+            # knobs, not servable request fields — they stay on the
+            # direct library call
+            report = run_verify(
+                seed=args.seed,
+                layers=layers,
+                golden_dir=golden_dir,
+                update_golden=args.update_golden,
+                progress=progress,
+                relations=args.relation,
+            )
+    except (ValueError, ConfigurationError) as exc:
         args._parser.error(str(exc))
     if args.json:
         _emit(json.dumps(report.to_payload(), sort_keys=True, indent=2), args.out)
@@ -633,7 +742,192 @@ def _verify_run(args: argparse.Namespace) -> int:
 VERIFY_COMMANDS = (
     Subcommand("list", "enumerate every relation and golden scenario", lambda p: None, _verify_list),
     Subcommand(
-        "run", "run the differential/metamorphic/golden oracles", _verify_run_configure, _verify_run
+        "run", "run the differential/metamorphic/golden oracles", _verify_run_configure,
+        _verify_run, common=True, jobs=True,
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# repro simulate
+# ---------------------------------------------------------------------------
+def _simulate_run_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rm", default="eslurm", help="RM profile (default eslurm)")
+    parser.add_argument("--n-nodes", type=int, default=1024, help="compute nodes (default 1024)")
+    parser.add_argument("--n-satellites", type=int, default=2, help="satellites (default 2)")
+    parser.add_argument("--n-jobs", type=int, default=500, help="jobs over the horizon (default 500)")
+    parser.add_argument(
+        "--horizon-s", type=float, default=86_400.0, help="simulated span (default 1 day)"
+    )
+    parser.add_argument("--failures", action="store_true", help="enable the failure injector")
+    parser.add_argument(
+        "--placement", default="first-fit", help="placement policy (first-fit | topology)"
+    )
+    parser.add_argument(
+        "--malleable", action="store_true", help="enable the elastic-job protocol"
+    )
+
+
+def _simulate_run(args: argparse.Namespace) -> int:
+    from repro.api import SimulateRequest
+    from repro.api import dispatch as api_dispatch
+    from repro.errors import ConfigurationError
+
+    try:
+        request = SimulateRequest(
+            rm=args.rm,
+            n_nodes=args.n_nodes,
+            n_satellites=args.n_satellites,
+            seed=args.seed,
+            failures=args.failures,
+            n_jobs=args.n_jobs,
+            horizon_s=args.horizon_s,
+            placement=args.placement,
+            malleable=args.malleable,
+        )
+    except ConfigurationError as exc:
+        args._parser.error(str(exc))
+    response = api_dispatch(request, progress=None if args.json or args.out else print)
+    if args.json:
+        _emit(json.dumps(response.to_wire(), sort_keys=True, indent=2), args.out)
+    else:
+        result = response.result()
+        _emit(
+            response.simulation.report.summary()
+            + f"\n  events={result['events']} sim_time={result['sim_time_s']:.0f}s"
+            + f"\n  digest={request.digest()}",
+            args.out,
+        )
+    return 0
+
+
+SIMULATE_COMMANDS = (
+    Subcommand(
+        "run", "run one simulated RM day from a typed request",
+        _simulate_run_configure, _simulate_run, common=True,
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# repro estimate
+# ---------------------------------------------------------------------------
+def _estimate_run_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n-history", type=int, default=300,
+        help="completed jobs to train on (default 300)",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=64, help="history job-size ceiling (default 64)"
+    )
+    parser.add_argument(
+        "--job-nodes", type=int, default=8, help="queried job's width (default 8)"
+    )
+    parser.add_argument(
+        "--user-estimate-s", type=float, default=None,
+        help="user wall request for the queried job (default: none)",
+    )
+    parser.add_argument(
+        "--app", default=None,
+        help="job-script name to query (default: most recent in the history)",
+    )
+    parser.add_argument(
+        "--k-clusters", type=int, default=12, help="estimator clusters (default 12)"
+    )
+
+
+def _estimate_run(args: argparse.Namespace) -> int:
+    from repro.api import EstimateRequest
+    from repro.api import dispatch as api_dispatch
+    from repro.errors import ConfigurationError
+
+    try:
+        request = EstimateRequest(
+            seed=args.seed,
+            n_history=args.n_history,
+            max_nodes=args.max_nodes,
+            job_nodes=args.job_nodes,
+            user_estimate_s=args.user_estimate_s,
+            app=args.app,
+            k_clusters=args.k_clusters,
+        )
+    except ConfigurationError as exc:
+        args._parser.error(str(exc))
+    response = api_dispatch(request, progress=None if args.json or args.out else print)
+    if args.json:
+        _emit(json.dumps(response.to_wire(), sort_keys=True, indent=2), args.out)
+    else:
+        value = (
+            f"{response.estimate_s:.0f}s" if response.estimate_s is not None else "none"
+        )
+        model = (
+            f"{response.model_estimate_s:.0f}s"
+            if response.model_estimate_s is not None
+            else "none"
+        )
+        _emit(
+            f"estimate: {value} (source {response.source}) for "
+            f"{response.app!r} x {request.job_nodes} nodes\n"
+            f"  model {model}, aea {response.aea:.3f}, "
+            f"{response.trainings} training generation(s)",
+            args.out,
+        )
+    return 0
+
+
+ESTIMATE_COMMANDS = (
+    Subcommand(
+        "run", "train the paper's estimator on synthetic history and query it",
+        _estimate_run_configure, _estimate_run, common=True,
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# repro serve
+# ---------------------------------------------------------------------------
+def _serve_run_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8421, help="bind port (default 8421; 0 = pick free)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="pool workers (default 0 = inline, streams progress; "
+        ">=1 = persistent warm pool)",
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=32,
+        help="admission queue bound; full queue sheds with HTTP 429 (default 32)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=256,
+        help="result-cache capacity in entries (default 256)",
+    )
+
+
+def _serve_run(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import GatewayConfig, run_gateway
+
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_size=args.cache_size,
+    )
+    try:
+        asyncio.run(run_gateway(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+SERVE_COMMANDS = (
+    Subcommand(
+        "run", "start the simulation gateway (HTTP/JSON, POST /v1/<kind>)",
+        _serve_run_configure, _serve_run,
     ),
 )
 
@@ -642,12 +936,21 @@ FAMILIES: dict[str, tuple[str, tuple[Subcommand, ...]]] = {
     "bench": ("Run the fixed perf-benchmark scenario matrix.", BENCH_COMMANDS),
     "chaos": ("Run a chaos campaign with simulation-wide invariant checking.", CHAOS_COMMANDS),
     "verify": ("Run the correctness oracles against the current tree.", VERIFY_COMMANDS),
+    "simulate": ("Run one simulated RM day from a typed request envelope.", SIMULATE_COMMANDS),
+    "estimate": ("Query the runtime estimator as a service.", ESTIMATE_COMMANDS),
+    "serve": ("Run the HTTP/JSON simulation gateway.", SERVE_COMMANDS),
 }
 
 #: families where a bare ``repro <family> [flags]`` implies this verb
 #: (``repro bench --profile`` is the profiling entry point the perf
 #: workflow documents)
-DEFAULT_VERBS: dict[str, str] = {"verify": "run", "bench": "run"}
+DEFAULT_VERBS: dict[str, str] = {
+    "verify": "run",
+    "bench": "run",
+    "simulate": "run",
+    "estimate": "run",
+    "serve": "run",
+}
 
 
 # ---------------------------------------------------------------------------
@@ -751,6 +1054,41 @@ EXPERIMENTS: dict[str, t.Callable[[bool], str]] = {
 
 
 def main(argv: t.Sequence[str] | None = None) -> int:
+    """The ``repro`` entry point; returns a documented exit code.
+
+    Exit codes (the gateway returns the paired HTTP status — see
+    :mod:`repro.errors`):
+
+    * ``0`` — success (HTTP 200)
+    * ``1`` — a check ran and failed (HTTP 200 with ``"ok": false``)
+    * ``2`` — malformed command line (argparse usage error)
+    * ``3`` — invalid configuration / parameters (HTTP 400)
+    * ``4`` — internal error (HTTP 500)
+    * ``5`` — reserved for gateway load shedding (HTTP 429)
+    """
+    import traceback
+
+    from repro.errors import (
+        EXIT_CONFIG,
+        EXIT_INTERNAL,
+        ConfigurationError,
+        ReproError,
+    )
+
+    try:
+        return _main(argv)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except ReproError as exc:
+        print(f"internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    except Exception:
+        traceback.print_exc()
+        return EXIT_INTERNAL
+
+
+def _main(argv: t.Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in FAMILIES:
         description, commands = FAMILIES[argv[0]]
@@ -765,6 +1103,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-eslurm",
         description="Regenerate the tables and figures of the ESLURM paper (SC'22).",
+        parents=[jobs_parent()],
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
@@ -779,7 +1118,6 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         action="store_true",
         help="scaled-down cluster sizes (seconds instead of hours)",
     )
-    add_jobs_flag(parser)
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name in EXPERIMENTS:

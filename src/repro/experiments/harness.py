@@ -19,7 +19,7 @@ def __getattr__(name: str) -> t.Any:
     if name in _MOVED:
         warnings.warn(
             f"repro.experiments.harness.{name} is deprecated; "
-            f"import it from repro.api instead",
+            f"use repro.api.{name} instead",
             DeprecationWarning,
             stacklevel=2,
         )

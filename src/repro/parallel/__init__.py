@@ -31,6 +31,7 @@ from repro.parallel.pool import (
     Task,
     TaskResult,
     SweepError,
+    WorkerPool,
     resolve_jobs,
     run_tasks,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "SweepError",
     "Task",
     "TaskResult",
+    "WorkerPool",
     "merge_counter_maps",
     "merge_gauge_sections",
     "merge_histogram_sections",

@@ -1,0 +1,62 @@
+"""The simulation gateway: serve the library over HTTP/JSON.
+
+The ROADMAP's north star is a service under heavy concurrent traffic;
+this package is that surface.  A long-running asyncio gateway accepts
+the four typed request envelopes (:mod:`repro.api`) from many clients,
+queues them onto a persistent warm :class:`repro.parallel.WorkerPool`
+(amortising the spawn cost that makes cold ``-j`` lose on small runs),
+and serves repeated digests straight from an LRU result cache — sound
+because every run is a pure function of ``(config, seed)``.
+
+The six modules, bottom-up:
+
+* :mod:`repro.serve.protocol` — lifecycle states, error bodies, the
+  exit-code ↔ HTTP-status table shared with the CLI.
+* :mod:`repro.serve.cache` — the digest-keyed LRU result cache.
+* :mod:`repro.serve.queue` — bounded admission with load-shedding
+  (the backpressure contract).
+* :mod:`repro.serve.events` — per-request NDJSON event streams.
+* :mod:`repro.serve.session` — tickets, the session store, and the
+  executor bridging admission to inline or pooled compute.
+* :mod:`repro.serve.app` — the asyncio HTTP front end.
+
+:mod:`repro.serve.loadtest` adds the deterministic load-test bench tier
+(``repro bench serve-load`` → ``benchmarks/BENCH_serve.json``).
+"""
+
+from repro.serve.app import Gateway, GatewayConfig, run_gateway
+from repro.serve.cache import ResultCache
+from repro.serve.events import EventBus, event_line
+from repro.serve.loadtest import (
+    SERVE_PATH,
+    SERVE_SCHEMA,
+    build_request_mix,
+    deterministic_view,
+    dump_serve,
+    load_serve,
+    render_serve,
+    run_serve_load,
+)
+from repro.serve.queue import BoundedQueue
+from repro.serve.session import Executor, SessionStore, Ticket
+
+__all__ = [
+    "BoundedQueue",
+    "EventBus",
+    "Executor",
+    "Gateway",
+    "GatewayConfig",
+    "ResultCache",
+    "SERVE_PATH",
+    "SERVE_SCHEMA",
+    "SessionStore",
+    "Ticket",
+    "build_request_mix",
+    "deterministic_view",
+    "dump_serve",
+    "event_line",
+    "load_serve",
+    "render_serve",
+    "run_gateway",
+    "run_serve_load",
+]

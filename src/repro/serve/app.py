@@ -1,0 +1,371 @@
+"""The gateway: an asyncio HTTP/JSON front end over the executor.
+
+One process serves many concurrent clients.  The asyncio event loop
+owns only cheap work — parsing, admission, status lookups, event-stream
+tailing — while all simulation runs on the executor's dispatcher thread
+(inline mode) or its persistent warm worker pool (pool mode).  The two
+sides meet at thread-safe seams: the bounded admission queue, the
+session store, and the event bus.
+
+Routes (all JSON bodies; errors use ``{"error", "exit_code"}``)::
+
+    POST   /v1/requests            submit any request envelope
+    POST   /v1/<kind>              submit, kind implied by the path
+    GET    /v1/requests/<id>       ticket status (+ result when done)
+    GET    /v1/requests/<id>/events  NDJSON lifecycle/progress stream
+    DELETE /v1/requests/<id>       cancel (QUEUED tickets only)
+    GET    /v1/healthz             liveness + lifecycle phase
+    GET    /v1/stats               cache / queue / executor counters
+    POST   /v1/shutdown            drain admitted work, then stop
+
+``POST`` submissions take ``?wait=1`` to block until the ticket is
+terminal and return the full result — the mode the CLI client and the
+load-test bench use.  Without it, submission returns ``202`` with the
+ticket id immediately.
+
+Backpressure: when the admission queue is full the gateway responds
+``429`` with :func:`repro.serve.protocol.busy_body` — it never blocks
+the client and never queues unboundedly.  A request whose digest is
+cached is answered ``200`` straight from cache; one whose digest is
+already in flight coalesces onto it instead of occupying a queue slot.
+
+The HTTP layer is deliberately minimal (HTTP/1.1, one request per
+connection, ``Connection: close``): the stdlib has no async HTTP
+server, this repo takes no dependencies, and the protocol surface the
+gateway needs is small enough to parse directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import typing as t
+from dataclasses import dataclass
+from urllib.parse import parse_qs
+
+from repro.api import request_from_wire
+from repro.errors import EXIT_INTERNAL, ConfigurationError
+from repro.serve import protocol
+from repro.serve.cache import ResultCache
+from repro.serve.events import EventBus, event_line
+from repro.serve.session import Executor, SessionStore, Ticket
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+             405: "Method Not Allowed", 409: "Conflict",
+             429: "Too Many Requests", 500: "Internal Server Error",
+             503: "Service Unavailable"}
+
+
+@dataclass(frozen=True, kw_only=True)
+class GatewayConfig:
+    """How a gateway is sized.
+
+    Args:
+        host / port: bind address (``port=0`` picks a free port; the
+            bound port is ``Gateway.port`` after :meth:`Gateway.start`).
+        workers: pool workers; ``0`` runs requests inline on the
+            dispatcher thread (serial, but streams intra-run progress).
+        queue_size: admission queue bound — the backpressure knob.
+        cache_size: result-cache capacity (LRU entries).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 0
+    queue_size: int = 32
+    cache_size: int = 256
+
+
+class Gateway:
+    """The serve front end; ``start`` → handle traffic → ``stop``."""
+
+    def __init__(self, config: GatewayConfig | None = None) -> None:
+        self.config = config or GatewayConfig()
+        self.cache = ResultCache(self.config.cache_size)
+        self.events = EventBus()
+        self.store = SessionStore()
+        self.executor = Executor(
+            workers=self.config.workers,
+            queue_size=self.config.queue_size,
+            cache=self.cache,
+            events=self.events,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._stopped = asyncio.Event()
+        self._draining = False
+        self.port: int = self.config.port
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        self.executor.start()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop serving; with ``drain`` finish admitted work first."""
+        self._draining = True
+        if drain:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.executor.drain
+            )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.executor.stop()
+        self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """Run until a ``POST /v1/shutdown`` completes the drain."""
+        await self._stopped.wait()
+
+    # -- HTTP plumbing ------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            try:
+                method, target, _ = request_line.decode("ascii").split(" ", 2)
+            except ValueError:
+                await self._respond(writer, 400,
+                                    protocol.config_error_body("bad request line"))
+                return
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            body = await reader.readexactly(length) if length else b""
+            path, _, query = target.partition("?")
+            params = parse_qs(query)
+            await self._route(method, path, params, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            try:
+                await self._respond(
+                    writer, 500,
+                    protocol.error_body(EXIT_INTERNAL, f"internal error: {exc}"),
+                )
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - client went away
+                pass
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, body: dict[str, t.Any]
+    ) -> None:
+        payload = (json.dumps(body, sort_keys=True) + "\n").encode()
+        writer.write(
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + payload
+        )
+        await writer.drain()
+
+    # -- routing ------------------------------------------------------------
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        params: dict[str, list[str]],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        from repro.api import REQUEST_KINDS
+
+        parts = [p for p in path.split("/") if p]
+        if not parts or parts[0] != "v1":
+            await self._respond(writer, 404,
+                                protocol.error_body(EXIT_INTERNAL, "not found"))
+            return
+        tail = parts[1:]
+        wait = params.get("wait", ["0"])[0] in ("1", "true")
+
+        if tail == ["healthz"] and method == "GET":
+            await self._respond(writer, 200, {
+                "ok": True,
+                "phase": "draining" if self._draining else "serving",
+            })
+        elif tail == ["stats"] and method == "GET":
+            await self._respond(writer, 200, self.stats())
+        elif tail == ["shutdown"] and method == "POST":
+            await self._respond(writer, 200, {"ok": True, "phase": "draining"})
+            asyncio.get_running_loop().create_task(self.stop(drain=True))
+        elif tail == ["requests"] and method == "POST":
+            await self._submit(writer, body, wait, kind=None)
+        elif len(tail) == 1 and tail[0] in REQUEST_KINDS and method == "POST":
+            await self._submit(writer, body, wait, kind=tail[0])
+        elif len(tail) == 2 and tail[0] == "requests":
+            await self._ticket_route(method, tail[1], writer)
+        elif (len(tail) == 3 and tail[0] == "requests" and tail[2] == "events"
+              and method == "GET"):
+            await self._stream_events(tail[1], writer)
+        else:
+            await self._respond(writer, 404,
+                                protocol.error_body(EXIT_INTERNAL, "not found"))
+
+    async def _ticket_route(
+        self, method: str, ticket_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        ticket = self.store.get(ticket_id)
+        if ticket is None:
+            await self._respond(
+                writer, 404,
+                protocol.error_body(EXIT_INTERNAL, f"no such request {ticket_id!r}"),
+            )
+        elif method == "GET":
+            await self._respond(writer, self._ticket_status_code(ticket),
+                                ticket.status())
+        elif method == "DELETE":
+            if self.executor.cancel(ticket):
+                await self._respond(writer, 200, ticket.status())
+            else:
+                await self._respond(
+                    writer, 409,
+                    protocol.error_body(
+                        EXIT_INTERNAL,
+                        f"request {ticket_id!r} is {ticket.state}; "
+                        "only queued requests can be cancelled",
+                    ),
+                )
+        else:
+            await self._respond(writer, 405,
+                                protocol.error_body(EXIT_INTERNAL, "method not allowed"))
+
+    @staticmethod
+    def _ticket_status_code(ticket: Ticket) -> int:
+        return 500 if ticket.state == protocol.FAILED else 200
+
+    # -- submission ---------------------------------------------------------
+    async def _submit(
+        self,
+        writer: asyncio.StreamWriter,
+        body: bytes,
+        wait: bool,
+        kind: str | None,
+    ) -> None:
+        if self._draining:
+            await self._respond(
+                writer, 503,
+                protocol.error_body(EXIT_INTERNAL, "gateway is draining"),
+            )
+            return
+        try:
+            wire = json.loads(body.decode() or "{}")
+            if not isinstance(wire, dict):
+                raise ConfigurationError("request body must be a JSON object")
+            if kind is not None:
+                wire.setdefault("kind", kind)
+            request = request_from_wire(wire)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            await self._respond(writer, 400,
+                                protocol.config_error_body(f"bad JSON body: {exc}"))
+            return
+        except ConfigurationError as exc:
+            await self._respond(writer, 400, protocol.config_error_body(str(exc)))
+            return
+
+        digest = request.digest()
+        cached = self.cache.get(digest)
+        if cached is not None:
+            ticket = self.store.create(request)
+            ticket.state = protocol.DONE
+            ticket.envelope = cached
+            ticket.cached = True
+            ticket.done.set()
+            self.events.emit(ticket.id, {"event": protocol.DONE,
+                                         "ok": cached["ok"], "cached": True})
+            await self._respond(writer, 200, ticket.status())
+            return
+
+        ticket = self.store.create(request)
+        outcome = self.executor.submit(ticket)
+        if outcome == "busy":
+            await self._respond(
+                writer, 429,
+                protocol.busy_body(len(self.executor.queue),
+                                   self.executor.queue.capacity),
+            )
+            return
+        if wait:
+            await asyncio.get_running_loop().run_in_executor(
+                None, ticket.done.wait
+            )
+            await self._respond(writer, self._ticket_status_code(ticket),
+                                ticket.status())
+        else:
+            await self._respond(writer, 202, ticket.status())
+
+    # -- event streaming ----------------------------------------------------
+    async def _stream_events(
+        self, ticket_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        ticket = self.store.get(ticket_id)
+        if ticket is None:
+            await self._respond(
+                writer, 404,
+                protocol.error_body(EXIT_INTERNAL, f"no such request {ticket_id!r}"),
+            )
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        loop = asyncio.get_running_loop()
+        cursor = 0
+        terminal = False
+        while not terminal:
+            batch = await loop.run_in_executor(
+                None, self.events.wait, ticket_id, cursor, 0.25
+            )
+            for event in batch:
+                writer.write(event_line(event))
+                if event.get("event") in protocol.TERMINAL:
+                    terminal = True
+            cursor += len(batch)
+            await writer.drain()
+
+    # -- introspection ------------------------------------------------------
+    def stats(self) -> dict[str, t.Any]:
+        return {
+            "cache": self.cache.stats(),
+            "queue": {
+                "size": len(self.executor.queue),
+                "capacity": self.executor.queue.capacity,
+                "shed": self.executor.queue.shed,
+            },
+            "executor": {
+                "workers": self.config.workers,
+                "completed": self.executor.completed,
+                "failed": self.executor.failed,
+                "cancelled": self.executor.cancelled,
+                "coalesced": self.executor.coalesced,
+            },
+            "tickets": len(self.store),
+        }
+
+
+async def run_gateway(config: GatewayConfig | None = None) -> None:
+    """Start a gateway and serve until shut down (the CLI entry)."""
+    gateway = Gateway(config)
+    await gateway.start()
+    print(f"repro.serve listening on http://{gateway.config.host}:{gateway.port}/v1/")
+    try:
+        await gateway.serve_forever()
+    finally:
+        if not gateway._stopped.is_set():  # e.g. KeyboardInterrupt
+            await gateway.stop(drain=False)

@@ -1,0 +1,70 @@
+"""The result cache: digest-keyed, LRU-bounded, thread-safe.
+
+Every simulation in this repository is a pure function of its request's
+``(kind, params)`` — that is what :meth:`repro.api.Request.digest`
+canonicalises — so the gateway may serve a repeated digest from cache
+and the bytes are *guaranteed* identical to re-running it.  The cache
+therefore stores the full response envelope (``{"kind", "digest",
+"ok", "result"}``) exactly as :func:`repro.api.dispatch_wire` returned
+it, whether it was produced inline or by a pool worker.
+
+Capacity is bounded with least-recently-*used* eviction (a hit
+refreshes recency), and the hit/miss/eviction counters feed
+``GET /v1/stats`` and the ``BENCH_serve.json`` load-test tier.
+"""
+
+from __future__ import annotations
+
+import threading
+import typing as t
+from collections import OrderedDict
+
+
+class ResultCache:
+    """LRU map from request digest to response envelope."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, dict[str, t.Any]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, digest: str) -> dict[str, t.Any] | None:
+        """The cached envelope for ``digest``, or ``None`` (counted)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return entry
+
+    def put(self, digest: str, envelope: dict[str, t.Any]) -> None:
+        """Store one envelope, evicting the least recently used at cap."""
+        with self._lock:
+            self._entries[digest] = envelope
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, t.Any]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / total, 6) if total else 0.0,
+            }

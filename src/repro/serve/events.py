@@ -1,0 +1,69 @@
+"""Per-request event streams: how progress leaves the gateway.
+
+Every lifecycle transition (queued, running, done, failed, cancelled)
+and every progress line becomes one event dict with a per-ticket
+monotonic ``seq``.  The bus keeps the full event history per ticket, so
+a client that connects to ``GET /v1/requests/<id>/events`` *after* the
+request finished still replays the whole stream — there is no race
+between execution speed and subscription time.
+
+Events cross the wire as newline-delimited JSON (one canonical-JSON
+object per line), the format DESIGN.md §5h specifies.  Producers are
+threads (the executor); consumers are either threads (``wait``) or the
+asyncio app, which bridges the blocking wait through
+``run_in_executor``.
+
+Progress granularity depends on where a request runs: lifecycle events
+are always emitted, but intra-run ``progress`` lines (telemetry span
+completions, verify's per-relation results) only stream in inline
+executor mode (``workers=0``) — a pool worker is a separate process and
+its spans cannot be streamed mid-cell, only its final result.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import typing as t
+
+
+def event_line(event: dict[str, t.Any]) -> bytes:
+    """One NDJSON wire line (canonical JSON + newline)."""
+    return (json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n").encode()
+
+
+class EventBus:
+    """Thread-safe per-ticket event history with blocking tail."""
+
+    def __init__(self, history_limit: int = 1024) -> None:
+        self.history_limit = history_limit
+        self._cond = threading.Condition()
+        self._streams: dict[str, list[dict[str, t.Any]]] = {}
+
+    def emit(self, ticket_id: str, event: dict[str, t.Any]) -> None:
+        """Append one event to the ticket's stream (assigns ``seq``)."""
+        with self._cond:
+            stream = self._streams.setdefault(ticket_id, [])
+            if len(stream) < self.history_limit:
+                stream.append({"id": ticket_id, "seq": len(stream), **event})
+            self._cond.notify_all()
+
+    def events(self, ticket_id: str, start: int = 0) -> list[dict[str, t.Any]]:
+        """The ticket's events from index ``start`` (non-blocking)."""
+        with self._cond:
+            return list(self._streams.get(ticket_id, ())[start:])
+
+    def wait(
+        self, ticket_id: str, start: int, timeout: float = 0.25
+    ) -> list[dict[str, t.Any]]:
+        """Block up to ``timeout`` for events past ``start``; may be ``[]``."""
+        with self._cond:
+            stream = self._streams.get(ticket_id, ())
+            if len(stream) <= start:
+                self._cond.wait(timeout)
+                stream = self._streams.get(ticket_id, ())
+            return list(stream[start:])
+
+    def drop(self, ticket_id: str) -> None:
+        with self._cond:
+            self._streams.pop(ticket_id, None)

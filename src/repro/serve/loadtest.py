@@ -1,0 +1,269 @@
+"""The serve load-test bench tier (``benchmarks/BENCH_serve.json``).
+
+"Many concurrent clients" becomes a measured claim here: the bench
+starts a real gateway in-process, drives it over real HTTP sockets with
+``concurrency`` simultaneous clients, and records requests/s, latency
+percentiles, and the cache hit rate.
+
+Determinism contract.  The payload has two sections:
+
+* the top level is **simulation-deterministic** — request counts, cache
+  hits/misses, shed count, and a digest over every response body.  Two
+  runs at the same seed produce byte-identical deterministic sections
+  (:func:`deterministic_view` is the comparison key), because the run
+  is structured to make concurrency unobservable: *phase 1* submits
+  ``n_unique`` all-distinct requests concurrently (distinct digests —
+  no hit/coalesce races regardless of interleaving), then after all
+  complete, *phase 2* replays the identical mix, which must be served
+  entirely from cache with bodies byte-identical to phase 1.
+* ``"host"`` holds the wall-clock measurements (requests/s, p50/p99/max
+  latency) — real performance numbers, excluded from the identity check
+  like every ``host_*`` field in the other bench tiers.
+
+The request mix cycles the four kinds at small, cheap parameter points,
+each at its own seed so every digest is distinct.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+import typing as t
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.serve.app import Gateway, GatewayConfig
+
+SERVE_SCHEMA = "repro-bench-serve/1"
+
+#: repo-relative location of the checked-in serve load-test file
+SERVE_PATH = "benchmarks/BENCH_serve.json"
+
+
+def build_request_mix(seed: int, n_unique: int) -> list[dict[str, t.Any]]:
+    """``n_unique`` distinct wire requests cycling all four kinds.
+
+    Parameter points are chosen cheap (tens of milliseconds each) so
+    the bench measures the *gateway*, not the simulator; each request
+    gets its own seed, which makes every digest distinct.
+    """
+    mix: list[dict[str, t.Any]] = []
+    for i in range(n_unique):
+        s = seed + i
+        kind = ("verify", "estimate", "simulate", "chaos")[i % 4]
+        if kind == "verify":
+            mix.append({"kind": "verify", "seed": s,
+                        "layers": ["metamorphic"],
+                        "relations": ["relabel-invariance"]})
+        elif kind == "estimate":
+            mix.append({"kind": "estimate", "seed": s,
+                        "n_history": 60, "max_nodes": 16, "job_nodes": 4})
+        elif kind == "simulate":
+            mix.append({"kind": "simulate", "seed": s, "rm": "slurm",
+                        "n_nodes": 32, "n_jobs": 8, "horizon_s": 7200.0})
+        else:
+            mix.append({"kind": "chaos", "seed": s, "scenario": "flapping-node"})
+    return mix
+
+
+async def _post(
+    host: str, port: int, path: str, body: dict[str, t.Any]
+) -> tuple[int, dict[str, t.Any], float]:
+    """One HTTP POST over a fresh connection; (status, body, latency_s)."""
+    start = time.perf_counter()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = json.dumps(body).encode()
+        writer.write(
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + payload
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover - server-side close race
+            pass
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(rest.decode()), time.perf_counter() - start
+
+
+async def _drive(
+    gateway: Gateway, mix: list[dict[str, t.Any]], concurrency: int
+) -> dict[str, t.Any]:
+    """Both phases against a started gateway; returns raw observations."""
+    host, port = gateway.config.host, gateway.port
+    sem = asyncio.Semaphore(concurrency)
+    latencies: list[float] = []
+
+    async def one(wire: dict[str, t.Any]) -> tuple[str, dict[str, t.Any]]:
+        async with sem:
+            status, body, latency = await _post(
+                host, port, "/v1/requests?wait=1", wire
+            )
+        if status != 200:
+            raise ConfigurationError(
+                f"load test got HTTP {status} for {wire['kind']}: {body}"
+            )
+        latencies.append(latency)
+        return body["digest"], body
+
+    # phase 1: all-unique, fully concurrent — every request is a miss
+    start = time.perf_counter()
+    phase1 = await asyncio.gather(*(one(w) for w in mix))
+    # phase 2: identical replay — every request must be a cache hit
+    phase2 = await asyncio.gather(*(one(w) for w in mix))
+    wall_s = time.perf_counter() - start
+
+    by_digest = {d: body["result"] for d, body in phase1}
+    replay_identical = all(
+        body["cached"]
+        and json.dumps(body["result"], sort_keys=True)
+        == json.dumps(by_digest[d], sort_keys=True)
+        for d, body in phase2
+    )
+    lines = sorted(
+        f"{d}:{json.dumps(body['result'], sort_keys=True, separators=(',', ':'))}"
+        for d, body in phase1
+    )
+    responses_digest = hashlib.sha256("\n".join(lines).encode()).hexdigest()
+    return {
+        "latencies": latencies,
+        "wall_s": wall_s,
+        "replay_identical": replay_identical,
+        "responses_digest": responses_digest,
+        "stats": gateway.stats(),
+    }
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_serve_load(
+    seed: int = 0,
+    n_unique: int = 8,
+    concurrency: int = 4,
+    workers: int = 2,
+    queue_size: int = 64,
+    progress: t.Callable[[str], None] | None = None,
+) -> dict[str, t.Any]:
+    """Run the two-phase load test; returns the ``BENCH_serve`` payload."""
+    if n_unique < 1 or concurrency < 1:
+        raise ConfigurationError("n_unique/concurrency must be >= 1")
+    if queue_size < concurrency:
+        # the determinism contract needs zero shed: every concurrent
+        # request must be admissible
+        raise ConfigurationError("queue_size must be >= concurrency")
+    mix = build_request_mix(seed, n_unique)
+
+    async def main() -> dict[str, t.Any]:
+        gateway = Gateway(GatewayConfig(
+            workers=workers, queue_size=queue_size, cache_size=max(64, n_unique)
+        ))
+        await gateway.start()
+        if progress is not None:
+            progress(
+                f"serve-load: {2 * n_unique} requests ({n_unique} unique), "
+                f"concurrency={concurrency}, workers={workers} "
+                f"on port {gateway.port}"
+            )
+        try:
+            return await _drive(gateway, mix, concurrency)
+        finally:
+            await gateway.stop(drain=True)
+
+    observed = asyncio.run(main())
+    stats = observed["stats"]
+    per_kind: dict[str, int] = {}
+    for wire in mix:
+        per_kind[wire["kind"]] = per_kind.get(wire["kind"], 0) + 2
+    latencies = observed["latencies"]
+    payload = {
+        "schema": SERVE_SCHEMA,
+        "seed": seed,
+        "workers": workers,
+        "concurrency": concurrency,
+        "queue_size": queue_size,
+        "requests_total": 2 * n_unique,
+        "unique_requests": n_unique,
+        "per_kind": dict(sorted(per_kind.items())),
+        "cache": {
+            "hits": stats["cache"]["hits"],
+            "misses": stats["cache"]["misses"],
+            "hit_rate": stats["cache"]["hit_rate"],
+            "evictions": stats["cache"]["evictions"],
+        },
+        "shed": stats["queue"]["shed"],
+        "coalesced": stats["executor"]["coalesced"],
+        "failed": stats["executor"]["failed"],
+        "replay_byte_identical": observed["replay_identical"],
+        "responses_digest": observed["responses_digest"],
+        "host": {
+            "wall_s": round(observed["wall_s"], 3),
+            "requests_per_s": round(2 * n_unique / observed["wall_s"], 2)
+            if observed["wall_s"]
+            else 0.0,
+            "latency_s": {
+                "p50": round(_percentile(latencies, 0.50), 4),
+                "p99": round(_percentile(latencies, 0.99), 4),
+                "max": round(max(latencies), 4),
+            },
+        },
+    }
+    if progress is not None:
+        progress(render_serve(payload))
+    return payload
+
+
+def deterministic_view(payload: dict[str, t.Any]) -> dict[str, t.Any]:
+    """The payload minus its wall-clock section — the identity key two
+    runs at the same seed must agree on byte-for-byte."""
+    return {k: v for k, v in payload.items() if k != "host"}
+
+
+def dump_serve(payload: dict[str, t.Any]) -> str:
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def load_serve(path: str | Path) -> dict[str, t.Any]:
+    """Read + sanity-check a serve load-test file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != SERVE_SCHEMA:
+        raise ConfigurationError(
+            f"{path}: expected schema {SERVE_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    return payload
+
+
+def render_serve(payload: dict[str, t.Any]) -> str:
+    """The human-readable load-test report (also the README table)."""
+    host = payload["host"]
+    cache = payload["cache"]
+    return "\n".join([
+        f"serve load — {payload['requests_total']} requests "
+        f"({payload['unique_requests']} unique), "
+        f"concurrency {payload['concurrency']}, "
+        f"{payload['workers']} worker(s), seed {payload['seed']}",
+        f"  throughput     {host['requests_per_s']:>8.2f} req/s "
+        f"({host['wall_s']:.2f}s wall)",
+        f"  latency        p50 {host['latency_s']['p50'] * 1e3:.0f}ms  "
+        f"p99 {host['latency_s']['p99'] * 1e3:.0f}ms  "
+        f"max {host['latency_s']['max'] * 1e3:.0f}ms",
+        f"  cache          {cache['hits']} hit(s) / {cache['misses']} miss(es) "
+        f"(rate {cache['hit_rate']:.2f})",
+        f"  backpressure   {payload['shed']} shed, "
+        f"{payload['coalesced']} coalesced, {payload['failed']} failed",
+        f"  replay         byte-identical: "
+        f"{'yes' if payload['replay_byte_identical'] else 'NO'}",
+    ])

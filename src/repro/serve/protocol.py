@@ -1,0 +1,67 @@
+"""The gateway's wire protocol: lifecycle states and error bodies.
+
+A submitted request moves through a small, strictly forward lifecycle::
+
+    submit -> QUEUED -> RUNNING -> DONE
+                  \\            \\-> FAILED
+                   \\-> CANCELLED
+
+plus two submit-time short-circuits that never enter the queue: a cache
+hit completes the ticket as DONE immediately, and a digest already in
+flight *coalesces* — the new ticket attaches to the running one and
+completes with it, so identical concurrent requests cost one execution.
+
+Error responses share one JSON shape, ``{"error": ..., "exit_code":
+...}``, and the exit codes are the CLI's (:mod:`repro.errors`): the
+gateway returns the HTTP twin of the code the CLI would exit with,
+which is what keeps the two transports one API.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import EXIT_BUSY, EXIT_CONFIG, EXIT_INTERNAL, HTTP_STATUS
+
+# -- lifecycle states -------------------------------------------------------
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: every state, in lifecycle order
+STATES: tuple[str, ...] = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: states a ticket never leaves
+TERMINAL: tuple[str, ...] = (DONE, FAILED, CANCELLED)
+
+
+def error_body(exit_code: int, message: str, **extra: t.Any) -> dict[str, t.Any]:
+    """The one error shape every non-2xx gateway response uses."""
+    return {"error": message, "exit_code": exit_code, **extra}
+
+
+def http_status(exit_code: int) -> int:
+    """HTTP status paired with a CLI exit code (500 for unknown codes)."""
+    return HTTP_STATUS.get(exit_code, HTTP_STATUS[EXIT_INTERNAL])
+
+
+def busy_body(queue_size: int, queue_capacity: int) -> dict[str, t.Any]:
+    """The structured 429 body a shed request receives.
+
+    Carries the queue state so a client can implement informed backoff
+    rather than blind retry.
+    """
+    return error_body(
+        EXIT_BUSY,
+        "queue full, request shed",
+        queue_size=queue_size,
+        queue_capacity=queue_capacity,
+        retry=True,
+    )
+
+
+def config_error_body(message: str) -> dict[str, t.Any]:
+    """The 400 body for requests that fail envelope validation."""
+    return error_body(EXIT_CONFIG, message)

@@ -1,0 +1,69 @@
+"""The admission queue: bounded, thread-safe, load-shedding.
+
+This is the gateway's backpressure contract in one class.  Admission is
+``try_put`` — it never blocks and never grows the queue past capacity;
+when the queue is full the put *fails* and the caller sheds the request
+with a structured 429 body (:func:`repro.serve.protocol.busy_body`).
+Bounding admission rather than blocking it is what keeps a saturated
+gateway responsive: clients get an immediate, informative refusal
+instead of an unbounded wait, and memory stays proportional to
+``queue_size``, not to offered load.
+
+The consumer side (the executor's dispatcher thread) uses blocking
+``get`` with a timeout; ``close()`` wakes any blocked getter so
+shutdown never hangs.
+"""
+
+from __future__ import annotations
+
+import threading
+import typing as t
+from collections import deque
+
+T = t.TypeVar("T")
+
+
+class BoundedQueue(t.Generic[T]):
+    """FIFO with hard capacity; full puts fail fast instead of blocking."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._items: deque[T] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        #: admissions refused because the queue was at capacity
+        self.shed = 0
+
+    def try_put(self, item: T) -> bool:
+        """Admit ``item`` if there is room; ``False`` means *shed*."""
+        with self._cond:
+            if self._closed or len(self._items) >= self.capacity:
+                self.shed += 1
+                return False
+            self._items.append(item)
+            self._cond.notify()
+            return True
+
+    def try_get(self) -> T | None:
+        """Non-blocking pop (``None`` when empty)."""
+        with self._cond:
+            return self._items.popleft() if self._items else None
+
+    def get(self, timeout: float | None = None) -> T | None:
+        """Blocking pop; ``None`` on timeout or when closed and empty."""
+        with self._cond:
+            if not self._items:
+                self._cond.wait(timeout)
+            return self._items.popleft() if self._items else None
+
+    def close(self) -> None:
+        """Refuse further admissions and wake blocked getters."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)

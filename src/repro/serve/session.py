@@ -1,0 +1,330 @@
+"""Request lifecycle: tickets, the session store, and the executor.
+
+A *ticket* is one client submission: an id, the typed request, its
+digest, and a lifecycle state (:mod:`repro.serve.protocol`).  The
+*store* allocates sequential ids and resolves status queries.  The
+*executor* owns the admission queue and a dispatcher thread that moves
+admitted tickets onto compute:
+
+* ``workers == 0`` — inline mode: the dispatcher thread itself calls
+  :func:`repro.api.dispatch`, one request at a time, streaming
+  intra-run progress lines (telemetry spans, verify relations) into the
+  event bus.
+* ``workers >= 1`` — pool mode: tickets become ``"serve"`` task cells
+  on a persistent warm :class:`repro.parallel.WorkerPool`.  The pool is
+  spawned once and reused for the gateway's whole lifetime — the
+  amortisation that motivated the persistent-pool refactor — and cell
+  crash containment means a poisoned request fails *its* ticket, never
+  the gateway.
+
+Identical digests coalesce: if a submitted digest is already queued or
+running, the new ticket attaches to the in-flight one and completes
+with it, so N identical concurrent requests cost one execution.  Only
+QUEUED tickets can be cancelled — a RUNNING cell is already on a
+worker and runs to completion.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+import typing as t
+from dataclasses import dataclass, field
+
+from repro.api import Request
+from repro.errors import EXIT_FAILURE, EXIT_INTERNAL, EXIT_OK
+from repro.parallel import Task, TaskResult, WorkerPool
+from repro.serve import protocol
+from repro.serve.cache import ResultCache
+from repro.serve.events import EventBus
+from repro.serve.queue import BoundedQueue
+
+
+@dataclass
+class Ticket:
+    """One client submission, from accept to terminal state."""
+
+    id: str
+    request: Request
+    wire: dict[str, t.Any]
+    digest: str
+    state: str = protocol.QUEUED
+    #: the full response envelope once DONE
+    envelope: dict[str, t.Any] | None = None
+    #: human-readable failure once FAILED
+    error: str | None = None
+    exit_code: int = EXIT_OK
+    #: served straight from cache at submit time
+    cached: bool = False
+    #: attached to an identical in-flight digest
+    coalesced: bool = False
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def status(self) -> dict[str, t.Any]:
+        """The ``GET /v1/requests/<id>`` body."""
+        out: dict[str, t.Any] = {
+            "id": self.id,
+            "kind": self.request.kind,
+            "digest": self.digest,
+            "state": self.state,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+        }
+        if self.envelope is not None:
+            out["ok"] = self.envelope["ok"]
+            out["result"] = self.envelope["result"]
+        if self.error is not None:
+            out["error"] = self.error
+            out["exit_code"] = self.exit_code
+        return out
+
+
+class SessionStore:
+    """Allocates ticket ids and answers status/cancel lookups."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tickets: dict[str, Ticket] = {}
+        self._counter = 0
+
+    def create(self, request: Request) -> Ticket:
+        with self._lock:
+            self._counter += 1
+            ticket = Ticket(
+                id=f"r-{self._counter:06d}",
+                request=request,
+                wire=request.to_wire(),
+                digest=request.digest(),
+            )
+            self._tickets[ticket.id] = ticket
+            return ticket
+
+    def get(self, ticket_id: str) -> Ticket | None:
+        with self._lock:
+            return self._tickets.get(ticket_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tickets)
+
+
+class Executor:
+    """Moves admitted tickets onto compute and settles their results.
+
+    One dispatcher thread; ``submit``/``cancel`` may be called from any
+    thread (the asyncio app calls them from the event loop).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        queue_size: int = 32,
+        cache: ResultCache,
+        events: EventBus,
+    ) -> None:
+        self.workers = workers
+        self.queue: BoundedQueue[Ticket] = BoundedQueue(queue_size)
+        self.cache = cache
+        self.events = events
+        self._lock = threading.Lock()
+        #: digest -> [primary ticket, coalesced tickets...]
+        self._inflight: dict[str, list[Ticket]] = {}
+        #: ticket id -> ticket, for cells currently on the pool
+        self._running: dict[str, Ticket] = {}
+        self._pool: WorkerPool | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.coalesced = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        if self.workers > 0:
+            self._pool = WorkerPool(jobs=self.workers)
+        self._thread = threading.Thread(
+            target=self._run, name="serve-executor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the dispatcher and the pool (does not drain first)."""
+        self._stop.set()
+        self.queue.close()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        if self._pool is not None:
+            self._pool.close()
+
+    def idle(self) -> bool:
+        """Nothing queued and nothing running."""
+        with self._lock:
+            running = bool(self._running)
+        return not running and len(self.queue) == 0
+
+    def drain(self, timeout: float = 60.0, poll_s: float = 0.02) -> bool:
+        """Block until idle (all admitted work settled); ``False`` on timeout."""
+        deadline = threading.Event()
+        waited = 0.0
+        while not self.idle():
+            if waited >= timeout:
+                return False
+            deadline.wait(poll_s)
+            waited += poll_s
+        return True
+
+    # -- producer side (event loop) -----------------------------------------
+    def submit(self, ticket: Ticket) -> str:
+        """Admit one ticket: ``"queued"``, ``"coalesced"``, or ``"busy"``."""
+        with self._lock:
+            inflight = self._inflight.get(ticket.digest)
+            if inflight is not None:
+                ticket.coalesced = True
+                inflight.append(ticket)
+                self.coalesced += 1
+                self.events.emit(
+                    ticket.id,
+                    {"event": protocol.QUEUED, "coalesced_with": inflight[0].id},
+                )
+                return "coalesced"
+            if not self.queue.try_put(ticket):
+                return "busy"
+            self._inflight[ticket.digest] = [ticket]
+        self.events.emit(ticket.id, {"event": protocol.QUEUED})
+        return "queued"
+
+    def cancel(self, ticket: Ticket) -> bool:
+        """Cancel a QUEUED ticket; RUNNING and terminal tickets refuse.
+
+        A cancelled ticket detaches from its coalescing group.  If it
+        was the group's *primary* (the one physically in the queue),
+        the dispatcher promotes the first surviving follower when it
+        pulls the dead entry — see :meth:`_claim`.
+        """
+        with self._lock:
+            if ticket.state != protocol.QUEUED:
+                return False
+            ticket.state = protocol.CANCELLED
+            self.cancelled += 1
+            group = self._inflight.get(ticket.digest)
+            if group is not None and ticket in group:
+                group.remove(ticket)
+                if not group:
+                    del self._inflight[ticket.digest]
+        self.events.emit(ticket.id, {"event": protocol.CANCELLED})
+        ticket.done.set()
+        return True
+
+    # -- dispatcher thread --------------------------------------------------
+    def _run(self) -> None:
+        if self._pool is None:
+            self._run_inline()
+        else:
+            self._run_pool()
+
+    def _begin(self, ticket: Ticket) -> bool:
+        """QUEUED -> RUNNING; ``False`` if the ticket was cancelled."""
+        with self._lock:
+            if ticket.state != protocol.QUEUED:
+                return False
+            ticket.state = protocol.RUNNING
+        self.events.emit(ticket.id, {"event": protocol.RUNNING})
+        return True
+
+    def _claim(self, ticket: Ticket | None) -> Ticket | None:
+        """Begin this queue entry — or, if it was cancelled while
+        queued, the first follower coalesced behind it (which inherits
+        the queue slot the cancelled primary held)."""
+        while ticket is not None:
+            if self._begin(ticket):
+                return ticket
+            with self._lock:
+                group = self._inflight.get(ticket.digest)
+                ticket = group[0] if group else None
+        return None
+
+    def _settle(self, ticket: Ticket, envelope: dict[str, t.Any] | None,
+                error: str | None) -> None:
+        """Finish the primary ticket and every coalesced follower."""
+        with self._lock:
+            group = self._inflight.pop(ticket.digest, [ticket])
+        if envelope is not None:
+            self.cache.put(ticket.digest, envelope)
+        for member in group:
+            if member.state == protocol.CANCELLED:  # pragma: no cover - race
+                continue
+            if envelope is not None:
+                member.state = protocol.DONE
+                member.envelope = envelope
+                member.exit_code = EXIT_OK if envelope["ok"] else EXIT_FAILURE
+                self.completed += 1
+                self.events.emit(
+                    member.id, {"event": protocol.DONE, "ok": envelope["ok"]}
+                )
+            else:
+                member.state = protocol.FAILED
+                member.error = error
+                member.exit_code = EXIT_INTERNAL
+                self.failed += 1
+                self.events.emit(member.id, {"event": protocol.FAILED, "error": error})
+            member.done.set()
+
+    def _run_inline(self) -> None:
+        from repro.api import dispatch
+
+        while not (self._stop.is_set() and len(self.queue) == 0):
+            ticket = self._claim(self.queue.get(timeout=0.1))
+            if ticket is None:
+                continue
+            with self._lock:
+                self._running[ticket.id] = ticket
+            try:
+                progress = lambda line, _id=ticket.id: self.events.emit(  # noqa: E731
+                    _id, {"event": "progress", "message": line}
+                )
+                envelope = dispatch(ticket.request, progress=progress).to_wire()
+                self._settle(ticket, envelope, None)
+            except Exception:
+                self._settle(ticket, None, traceback.format_exc(limit=4))
+            finally:
+                with self._lock:
+                    self._running.pop(ticket.id, None)
+
+    def _run_pool(self) -> None:
+        pool = t.cast(WorkerPool, self._pool)
+        while True:
+            moved = False
+            while (ticket := self.queue.try_get()) is not None:
+                moved = self._feed_pool(pool, ticket) or moved
+            with self._lock:
+                running = bool(self._running)
+            if running:
+                for result in pool.poll(timeout=0.1):
+                    self._finish_cell(result)
+            elif not moved:
+                if self._stop.is_set() and len(self.queue) == 0:
+                    return
+                ticket = self.queue.get(timeout=0.1)
+                if ticket is not None:
+                    self._feed_pool(pool, ticket)
+
+    def _feed_pool(self, pool: WorkerPool, entry: Ticket) -> bool:
+        ticket = self._claim(entry)
+        if ticket is None:
+            return False
+        with self._lock:
+            self._running[ticket.id] = ticket
+        pool.submit(Task(id=ticket.id, kind="serve", spec={"request": ticket.wire}))
+        return True
+
+    def _finish_cell(self, result: TaskResult) -> None:
+        with self._lock:
+            ticket = self._running.pop(result.task_id, None)
+        if ticket is None:  # pragma: no cover - defensive
+            return
+        if result.ok:
+            self._settle(ticket, result.value["response"], None)
+        else:
+            self._settle(ticket, None, result.error)

@@ -34,6 +34,29 @@ class NullSink(TelemetrySink):
         pass
 
 
+class CallbackSink(TelemetrySink):
+    """Forwards each finished span to a callback as it completes.
+
+    The seam streaming progress events is built on: the serve gateway
+    (and ``dispatch(..., progress=...)``) install a session whose sink
+    turns span completions into newline-delimited progress events.
+    ``min_elapsed_s`` bounds the flood — only regions at least that
+    long are forwarded (0.0 forwards everything).
+    """
+
+    def __init__(
+        self,
+        callback: t.Callable[["SpanRecord"], None],
+        min_elapsed_s: float = 0.0,
+    ) -> None:
+        self.callback = callback
+        self.min_elapsed_s = min_elapsed_s
+
+    def record_span(self, record: "SpanRecord") -> None:
+        if record.elapsed_s >= self.min_elapsed_s:
+            self.callback(record)
+
+
 class InMemorySink(TelemetrySink):
     """Keeps every finished span in order (tests, bench reports)."""
 

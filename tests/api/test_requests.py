@@ -1,0 +1,149 @@
+"""Tests for the typed request/response envelopes and their digests.
+
+The digest is the gateway's cache key, so its contract is load-bearing:
+equal (config, seed) must collide, any single field change must not,
+and the value must be identical whether computed in this process or in
+a spawned pool worker (the gateway mixes both freely).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    ChaosRequest,
+    EstimateRequest,
+    REQUEST_KINDS,
+    SimulateRequest,
+    VerifyRequest,
+    dispatch,
+    request_from_wire,
+)
+from repro.errors import ConfigurationError
+from repro.parallel import Task, run_tasks
+
+
+class TestDigest:
+    def test_identical_config_and_seed_identical_digest(self):
+        a = SimulateRequest(rm="slurm", n_nodes=128, seed=7)
+        b = SimulateRequest(rm="slurm", n_nodes=128, seed=7)
+        assert a == b
+        assert a.digest() == b.digest()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"rm": "eslurm"},
+            {"n_nodes": 129},
+            {"placement": "topology"},
+            {"malleable": True},
+            {"seed": 8},
+            {"failures": True},
+            {"n_jobs": 501},
+        ],
+    )
+    def test_any_single_field_change_changes_digest(self, change):
+        base = SimulateRequest(rm="slurm", n_nodes=128, seed=7)
+        changed = dataclasses.replace(base, **change)
+        assert changed.digest() != base.digest()
+
+    def test_digests_distinct_across_kinds_at_same_seed(self):
+        digests = {
+            SimulateRequest(seed=3).digest(),
+            ChaosRequest(seed=3).digest(),
+            VerifyRequest(seed=3).digest(),
+            EstimateRequest(seed=3).digest(),
+        }
+        assert len(digests) == 4
+
+    def test_digest_stable_across_processes(self):
+        # Two cells on a real spawned pool (two tasks + jobs=2 forces
+        # the pool path, not the inline shortcut): the digest a worker
+        # stamps on its response envelope must equal the digest the
+        # parent computes for the same request.
+        requests = [
+            VerifyRequest(seed=11, layers=("metamorphic",),
+                          relations=("relabel-invariance",)),
+            VerifyRequest(seed=12, layers=("metamorphic",),
+                          relations=("relabel-invariance",)),
+        ]
+        tasks = [
+            Task(id=f"t{i}", kind="serve", spec={"request": r.to_wire()})
+            for i, r in enumerate(requests)
+        ]
+        results = run_tasks(tasks, jobs=2)
+        for request, result in zip(requests, results):
+            assert result.ok, result.error
+            assert result.value["response"]["digest"] == request.digest()
+
+
+class TestWire:
+    @pytest.mark.parametrize("request_", [
+        SimulateRequest(rm="slurm", n_nodes=64, seed=2, malleable=True),
+        ChaosRequest(scenario="flapping-node", seed=4),
+        VerifyRequest(seed=5, layers=("metamorphic",), relations=("rack-relabel-score",)),
+        EstimateRequest(seed=6, n_history=60, max_nodes=16),
+    ])
+    def test_wire_round_trip(self, request_):
+        rebuilt = request_from_wire(request_.to_wire())
+        assert rebuilt == request_
+        assert rebuilt.digest() == request_.digest()
+        # the wire dict itself is JSON-serialisable
+        json.dumps(request_.to_wire())
+
+    def test_kinds_registry(self):
+        assert REQUEST_KINDS == ("chaos", "estimate", "simulate", "verify")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown request kind"):
+            request_from_wire({"kind": "teleport"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown simulate request field"):
+            request_from_wire({"kind": "simulate", "n_nodez": 4})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown RM"):
+            request_from_wire({"kind": "simulate", "rm": "htcondor"})
+        with pytest.raises(ConfigurationError, match="unknown verify layers"):
+            VerifyRequest(layers=("vibes",))
+        with pytest.raises(ConfigurationError, match="n_history"):
+            EstimateRequest(n_history=3)
+        with pytest.raises(ConfigurationError):
+            ChaosRequest(scenario="nope")
+
+
+class TestDispatch:
+    def test_dispatch_rejects_untyped_input(self):
+        with pytest.raises(ConfigurationError, match="typed request envelope"):
+            dispatch({"kind": "simulate"})
+
+    def test_verify_dispatch_deterministic_envelope(self):
+        request = VerifyRequest(seed=3, layers=("metamorphic",),
+                                relations=("relabel-invariance",))
+        a = dispatch(request).to_wire()
+        b = dispatch(request).to_wire()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        assert a["digest"] == request.digest()
+        assert a["ok"] is True
+        assert a["result"]["n_relations"] == 1
+
+    def test_simulate_response_carries_report_and_counters(self):
+        request = SimulateRequest(rm="slurm", n_nodes=32, n_jobs=5,
+                                  horizon_s=3600.0, seed=1)
+        response = dispatch(request)
+        result = response.result()
+        assert result["rm"] == "slurm"
+        assert result["events"] > 0
+        assert result["sim_time_s"] == 3600.0
+        # the rich report object rides along for CLI rendering
+        summary = response.simulation.report.summary()
+        assert summary.startswith("[slurm]") and "master:" in summary
+
+    def test_estimate_response_sources(self):
+        trained = dispatch(EstimateRequest(seed=2, n_history=60, max_nodes=16))
+        assert trained.ok
+        assert trained.estimate_s is not None and trained.estimate_s > 0
+        assert trained.source == "model"
+        assert trained.trainings >= 1

@@ -1,0 +1,57 @@
+"""Shared serve-test plumbing: a gated dispatch stub.
+
+Lifecycle tests need to control exactly when a request is RUNNING —
+cancel-while-queued, coalesce-onto-running, and queue-full shed are
+races unless the test holds the dispatcher still.  The ``gates``
+fixture patches :func:`repro.api.dispatch` with a stub whose completion
+is keyed by request seed: ``gates[seed] = threading.Event()`` parks
+that request until the test releases it.  A request at ``POISON_SEED``
+raises, exercising the failure path.
+"""
+
+import time
+from types import SimpleNamespace
+
+import pytest
+
+#: a request at this seed makes the stub dispatch raise
+POISON_SEED = 999
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+@pytest.fixture
+def gates(monkeypatch):
+    """Patch ``repro.api.dispatch``; returns the seed -> Event gate map.
+
+    The executor's dispatcher thread binds ``dispatch`` when it starts,
+    so patching before ``Executor.start`` (or ``Gateway.start``) is
+    sufficient.
+    """
+    gate_map = {}
+
+    def fake_dispatch(request, progress=None):
+        gate = gate_map.get(request.seed)
+        if gate is not None:
+            assert gate.wait(10.0), "test gate never released"
+        if request.seed == POISON_SEED:
+            raise RuntimeError("boom at poison seed")
+        if progress is not None:
+            progress(f"half-way through seed {request.seed}")
+        wire = {
+            "kind": request.kind,
+            "digest": request.digest(),
+            "ok": True,
+            "result": {"seed": request.seed},
+        }
+        return SimpleNamespace(to_wire=lambda: wire)
+
+    monkeypatch.setattr("repro.api.dispatch", fake_dispatch)
+    return gate_map

@@ -1,0 +1,53 @@
+"""Tests for the digest-keyed LRU result cache."""
+
+import pytest
+
+from repro.serve import ResultCache
+
+
+def envelope(n):
+    return {"kind": "simulate", "digest": f"d{n}", "ok": True, "result": {"n": n}}
+
+
+class TestResultCache:
+    def test_round_trip_and_counters(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("d1") is None
+        cache.put("d1", envelope(1))
+        assert cache.get("d1") == envelope(1)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["size"] == 1 and stats["capacity"] == 4
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", envelope(1))
+        cache.put("b", envelope(2))
+        # touch "a" so "b" becomes the LRU entry
+        assert cache.get("a") is not None
+        cache.put("c", envelope(3))
+        assert cache.get("b") is None  # evicted
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_refreshes_recency_too(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", envelope(1))
+        cache.put("b", envelope(2))
+        cache.put("a", envelope(10))  # re-put: "b" is now LRU
+        cache.put("c", envelope(3))
+        assert cache.get("b") is None
+        assert cache.get("a")["result"]["n"] == 10
+
+    def test_len_and_empty_stats(self):
+        cache = ResultCache(capacity=3)
+        assert len(cache) == 0
+        assert cache.stats()["hit_rate"] == 0.0
+        cache.put("x", envelope(1))
+        assert len(cache) == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)

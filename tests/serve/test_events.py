@@ -1,0 +1,64 @@
+"""Tests for the per-ticket event bus and the NDJSON wire format."""
+
+import json
+import threading
+
+from repro.serve import EventBus, event_line
+
+
+class TestEventLine:
+    def test_canonical_json_plus_newline(self):
+        line = event_line({"event": "done", "ok": True, "id": "r-1", "seq": 2})
+        assert line.endswith(b"\n")
+        assert line == b'{"event":"done","id":"r-1","ok":true,"seq":2}\n'
+        # parses back as one JSON object
+        assert json.loads(line)["event"] == "done"
+
+
+class TestEventBus:
+    def test_seq_is_per_ticket_monotonic(self):
+        bus = EventBus()
+        bus.emit("a", {"event": "queued"})
+        bus.emit("b", {"event": "queued"})
+        bus.emit("a", {"event": "running"})
+        assert [e["seq"] for e in bus.events("a")] == [0, 1]
+        assert [e["seq"] for e in bus.events("b")] == [0]
+        assert all(e["id"] == "a" for e in bus.events("a"))
+
+    def test_late_subscriber_replays_full_history(self):
+        # the gateway guarantee: connecting to the event stream after
+        # the request finished still yields every event
+        bus = EventBus()
+        for name in ("queued", "running", "done"):
+            bus.emit("t", {"event": name})
+        assert [e["event"] for e in bus.events("t")] == ["queued", "running", "done"]
+        assert [e["event"] for e in bus.events("t", start=2)] == ["done"]
+
+    def test_wait_blocks_until_emit(self):
+        bus = EventBus()
+        got = []
+
+        def tail():
+            got.extend(bus.wait("t", 0, timeout=5.0))
+
+        thread = threading.Thread(target=tail)
+        thread.start()
+        bus.emit("t", {"event": "queued"})
+        thread.join(timeout=5.0)
+        assert [e["event"] for e in got] == ["queued"]
+
+    def test_wait_timeout_returns_empty(self):
+        bus = EventBus()
+        assert bus.wait("nope", 0, timeout=0.01) == []
+
+    def test_history_limit_bounds_memory(self):
+        bus = EventBus(history_limit=3)
+        for i in range(10):
+            bus.emit("t", {"event": "progress", "i": i})
+        assert len(bus.events("t")) == 3
+
+    def test_drop(self):
+        bus = EventBus()
+        bus.emit("t", {"event": "queued"})
+        bus.drop("t")
+        assert bus.events("t") == []

@@ -1,0 +1,258 @@
+"""End-to-end gateway tests over real HTTP sockets.
+
+Each test boots a :class:`repro.serve.Gateway` on a free port inside
+``asyncio.run`` and speaks raw HTTP/1.1 to it, the same way the CLI
+client and the load-test bench do.  Lifecycle-sensitive tests use the
+gated dispatch stub from ``conftest``; the cache-hit test runs a real
+(cheap) chaos request through the full dispatch path.
+"""
+
+import asyncio
+import json
+import threading
+
+from repro.serve import Gateway, GatewayConfig
+from tests.serve.conftest import wait_for
+
+
+async def http(port, method, path, body=None, host="127.0.0.1"):
+    """One request over a fresh connection; returns (status, raw body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = b"" if body is None else json.dumps(body).encode()
+        writer.write(
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + payload
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), rest
+
+
+async def http_json(port, method, path, body=None):
+    status, rest = await http(port, method, path, body)
+    return status, json.loads(rest.decode())
+
+
+def gateway_test(config=None):
+    """Decorator: run ``coro(gateway)`` against a started gateway."""
+
+    def runner(coro):
+        async def main():
+            gateway = Gateway(config or GatewayConfig())
+            await gateway.start()
+            try:
+                return await coro(gateway)
+            finally:
+                if not gateway._stopped.is_set():
+                    await gateway.stop(drain=True)
+
+        return asyncio.run(main())
+
+    return runner
+
+
+class TestBasics:
+    def test_healthz_stats_and_404s(self):
+        @gateway_test()
+        async def _(gw):
+            status, body = await http_json(gw.port, "GET", "/v1/healthz")
+            assert (status, body) == (200, {"ok": True, "phase": "serving"})
+            status, body = await http_json(gw.port, "GET", "/v1/stats")
+            assert status == 200
+            assert set(body) == {"cache", "queue", "executor", "tickets"}
+            assert body["queue"]["capacity"] == gw.config.queue_size
+            for method, path in (
+                ("GET", "/nope"),
+                ("GET", "/v1/unknown"),
+                ("GET", "/v1/requests/r-000042"),
+                ("DELETE", "/v1/requests/r-000042"),
+            ):
+                status, body = await http_json(gw.port, method, path)
+                assert status == 404 and "error" in body
+
+    def test_bad_requests_get_400_with_config_exit_code(self):
+        @gateway_test()
+        async def _(gw):
+            cases = [
+                ("/v1/simulate", {"rm": "htcondor"}),
+                ("/v1/requests", {"kind": "teleport"}),
+                ("/v1/requests", {"kind": "simulate", "n_nodez": 4}),
+            ]
+            for path, wire in cases:
+                status, body = await http_json(gw.port, "POST", path, wire)
+                assert status == 400, (path, wire, body)
+                assert body["exit_code"] == 3  # EXIT_CONFIG, the CLI code
+            # non-JSON body
+            status, rest = await http(gw.port, "POST", "/v1/chaos")
+            # empty body defaults fine; send actual garbage instead
+            reader, writer = await asyncio.open_connection("127.0.0.1", gw.port)
+            writer.write(
+                b"POST /v1/chaos HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 8\r\nConnection: close\r\n\r\nnot-json"
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            assert b" 400 " in raw.split(b"\r\n", 1)[0]
+            assert b"bad JSON body" in raw
+
+
+class TestSubmitAndCache:
+    def test_wait_submit_then_served_from_cache(self):
+        # real dispatch: the acceptance path — identical (config, seed)
+        # yields an identical digest and the repeat is a cache hit
+        @gateway_test()
+        async def _(gw):
+            wire = {"scenario": "flapping-node", "seed": 5}
+            status, first = await http_json(
+                gw.port, "POST", "/v1/chaos?wait=1", wire
+            )
+            assert status == 200
+            assert first["state"] == "done" and first["ok"] is True
+            assert first["cached"] is False
+
+            status, again = await http_json(
+                gw.port, "POST", "/v1/chaos?wait=1", wire
+            )
+            assert status == 200
+            assert again["cached"] is True
+            assert again["digest"] == first["digest"]
+            assert json.dumps(again["result"], sort_keys=True) == json.dumps(
+                first["result"], sort_keys=True
+            )
+
+            # the kind-implied path and the generic envelope path agree
+            status, generic = await http_json(
+                gw.port, "POST", "/v1/requests?wait=1", {"kind": "chaos", **wire}
+            )
+            assert generic["cached"] is True
+            assert generic["digest"] == first["digest"]
+
+            _, stats = await http_json(gw.port, "GET", "/v1/stats")
+            assert stats["cache"]["hits"] >= 2
+            assert stats["executor"]["completed"] == 1  # one real execution
+            assert stats["tickets"] == 3
+
+    def test_async_submit_status_and_event_stream(self, gates):
+        @gateway_test()
+        async def _(gw):
+            status, body = await http_json(
+                gw.port, "POST", "/v1/chaos", {"seed": 1}
+            )
+            assert status == 202
+            assert body["state"] in ("queued", "running")
+            ticket_id = body["id"]
+
+            def is_done():
+                ticket = gw.store.get(ticket_id)
+                return ticket is not None and ticket.done.is_set()
+
+            assert await asyncio.get_running_loop().run_in_executor(
+                None, wait_for, is_done
+            )
+            status, final = await http_json(
+                gw.port, "GET", f"/v1/requests/{ticket_id}"
+            )
+            assert status == 200 and final["state"] == "done"
+
+            # late subscriber: the stream still replays the full history
+            status, raw = await http(
+                gw.port, "GET", f"/v1/requests/{ticket_id}/events"
+            )
+            assert status == 200
+            events = [json.loads(line) for line in raw.splitlines() if line]
+            assert [e["event"] for e in events] == [
+                "queued", "running", "progress", "done",
+            ]
+            assert [e["seq"] for e in events] == list(range(len(events)))
+            assert all(e["id"] == ticket_id for e in events)
+
+    def test_failed_request_reports_500(self, gates):
+        @gateway_test()
+        async def _(gw):
+            status, body = await http_json(
+                gw.port, "POST", "/v1/chaos?wait=1", {"seed": 999}
+            )
+            assert status == 500
+            assert body["state"] == "failed"
+            assert body["exit_code"] == 4  # EXIT_INTERNAL
+            assert "boom at poison seed" in body["error"]
+            # the gateway survives the failure
+            status, health = await http_json(gw.port, "GET", "/v1/healthz")
+            assert status == 200 and health["ok"] is True
+
+
+class TestCancelAndBackpressure:
+    def test_cancel_queued_then_conflict(self, gates):
+        @gateway_test()
+        async def _(gw):
+            gates[1] = threading.Event()
+            _, parked = await http_json(gw.port, "POST", "/v1/chaos", {"seed": 1})
+            assert await asyncio.get_running_loop().run_in_executor(
+                None, wait_for,
+                lambda: gw.store.get(parked["id"]).state == "running",
+            )
+            _, queued = await http_json(gw.port, "POST", "/v1/chaos", {"seed": 2})
+
+            status, body = await http_json(
+                gw.port, "DELETE", f"/v1/requests/{queued['id']}"
+            )
+            assert status == 200 and body["state"] == "cancelled"
+            status, body = await http_json(
+                gw.port, "DELETE", f"/v1/requests/{queued['id']}"
+            )
+            assert status == 409
+            assert "only queued requests can be cancelled" in body["error"]
+            gates[1].set()
+
+    def test_full_queue_sheds_with_429(self, gates):
+        @gateway_test(GatewayConfig(queue_size=1))
+        async def _(gw):
+            gates[1] = threading.Event()
+            _, parked = await http_json(gw.port, "POST", "/v1/chaos", {"seed": 1})
+            assert await asyncio.get_running_loop().run_in_executor(
+                None, wait_for,
+                lambda: gw.store.get(parked["id"]).state == "running",
+            )
+            status, _ = await http_json(gw.port, "POST", "/v1/chaos", {"seed": 2})
+            assert status == 202  # fills the single queue slot
+            status, body = await http_json(gw.port, "POST", "/v1/chaos", {"seed": 3})
+            assert status == 429
+            assert body["exit_code"] == 5  # EXIT_BUSY
+            assert body["retry"] is True
+            assert (body["queue_size"], body["queue_capacity"]) == (1, 1)
+            gates[1].set()
+
+            _, stats = await http_json(gw.port, "GET", "/v1/stats")
+            assert stats["queue"]["shed"] == 1
+
+
+class TestShutdown:
+    def test_draining_rejects_then_shutdown_stops(self, gates):
+        @gateway_test()
+        async def _(gw):
+            _, done = await http_json(
+                gw.port, "POST", "/v1/chaos?wait=1", {"seed": 1}
+            )
+            assert done["state"] == "done"
+
+            gw._draining = True
+            status, body = await http_json(gw.port, "POST", "/v1/chaos", {"seed": 2})
+            assert status == 503 and "draining" in body["error"]
+            gw._draining = False
+
+            status, body = await http_json(gw.port, "POST", "/v1/shutdown")
+            assert (status, body) == (200, {"ok": True, "phase": "draining"})
+            await asyncio.wait_for(gw.serve_forever(), timeout=10.0)
+            assert gw._stopped.is_set()

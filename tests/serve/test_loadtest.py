@@ -1,0 +1,97 @@
+"""Tests for the serve load-test bench tier (``BENCH_serve.json``).
+
+The acceptance bar: two runs at the same seed produce byte-identical
+payloads once the wall-clock ``host`` section is dropped, the replay
+phase is served entirely from cache, and nothing is shed or failed.
+Inline mode (``workers=0``) keeps the default tier fast; the pool-mode
+run is the checked-in artifact's configuration and rides the ``slow``
+marker.
+"""
+
+import json
+
+import pytest
+
+from repro.api import request_from_wire
+from repro.errors import ConfigurationError
+from repro.serve import (
+    SERVE_SCHEMA,
+    build_request_mix,
+    deterministic_view,
+    dump_serve,
+    load_serve,
+    render_serve,
+    run_serve_load,
+)
+
+
+class TestRequestMix:
+    def test_cycles_all_kinds_with_distinct_digests(self):
+        mix = build_request_mix(seed=0, n_unique=8)
+        kinds = [wire["kind"] for wire in mix]
+        assert kinds == ["verify", "estimate", "simulate", "chaos"] * 2
+        digests = {request_from_wire(w).digest() for w in mix}
+        assert len(digests) == 8  # every request is its own cache entry
+
+    def test_mix_is_seed_deterministic(self):
+        assert build_request_mix(3, 6) == build_request_mix(3, 6)
+        assert build_request_mix(3, 6) != build_request_mix(4, 6)
+
+
+class TestValidation:
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ConfigurationError):
+            run_serve_load(n_unique=0)
+        with pytest.raises(ConfigurationError):
+            run_serve_load(concurrency=0)
+        # shed-free determinism needs every concurrent request admissible
+        with pytest.raises(ConfigurationError, match="queue_size"):
+            run_serve_load(concurrency=4, queue_size=2)
+
+    def test_load_serve_checks_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9"}))
+        with pytest.raises(ConfigurationError, match="expected schema"):
+            load_serve(path)
+
+
+class TestDeterminism:
+    def test_two_runs_byte_identical_minus_wall_clock(self, tmp_path):
+        runs = [
+            run_serve_load(seed=0, n_unique=4, concurrency=2, workers=0)
+            for _ in range(2)
+        ]
+        texts = [dump_serve(deterministic_view(p)) for p in runs]
+        assert texts[0] == texts[1]
+
+        payload = runs[0]
+        assert payload["schema"] == SERVE_SCHEMA
+        assert payload["requests_total"] == 8
+        # phase 1 all misses, phase 2 all hits, nothing shed or failed
+        assert payload["cache"]["misses"] == 4
+        assert payload["cache"]["hits"] == 4
+        assert payload["cache"]["hit_rate"] == 0.5
+        assert payload["shed"] == 0
+        assert payload["failed"] == 0
+        assert payload["replay_byte_identical"] is True
+        assert len(payload["responses_digest"]) == 64
+        # the wall-clock section exists but is excluded from identity
+        assert "host" in payload and "host" not in deterministic_view(payload)
+
+        # dump -> load round trip
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(dump_serve(payload))
+        assert load_serve(path) == payload
+
+        report = render_serve(payload)
+        assert "byte-identical: yes" in report
+        assert "4 hit(s) / 4 miss(es)" in report
+
+    @pytest.mark.slow
+    def test_pool_mode_matches_inline_digest(self):
+        # the checked-in artifact runs workers=2; the response digest
+        # must not depend on where requests execute
+        inline = run_serve_load(seed=0, n_unique=4, concurrency=2, workers=0)
+        pooled = run_serve_load(seed=0, n_unique=4, concurrency=2, workers=2)
+        assert pooled["responses_digest"] == inline["responses_digest"]
+        assert pooled["replay_byte_identical"] is True

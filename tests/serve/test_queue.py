@@ -1,0 +1,66 @@
+"""Tests for the bounded admission queue (the backpressure contract)."""
+
+import threading
+
+import pytest
+
+from repro.serve import BoundedQueue
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        q = BoundedQueue(4)
+        for item in ("a", "b", "c"):
+            assert q.try_put(item)
+        assert [q.try_get() for _ in range(3)] == ["a", "b", "c"]
+        assert q.try_get() is None
+
+    def test_full_put_sheds_instead_of_blocking(self):
+        q = BoundedQueue(2)
+        assert q.try_put(1) and q.try_put(2)
+        assert not q.try_put(3)
+        assert q.shed == 1
+        assert len(q) == 2  # the shed item never entered
+        q.try_get()
+        assert q.try_put(3)  # room again after a pop
+
+    def test_closed_queue_refuses_admission(self):
+        q = BoundedQueue(2)
+        q.close()
+        assert not q.try_put(1)
+        assert q.shed == 1
+
+    def test_blocking_get_times_out(self):
+        q = BoundedQueue(1)
+        assert q.get(timeout=0.01) is None
+
+    def test_blocking_get_wakes_on_put(self):
+        q = BoundedQueue(1)
+        got = []
+
+        def consume():
+            got.append(q.get(timeout=5.0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        q.try_put("item")
+        thread.join(timeout=5.0)
+        assert got == ["item"]
+
+    def test_close_wakes_blocked_getter(self):
+        q = BoundedQueue(1)
+        got = []
+
+        def consume():
+            got.append(q.get(timeout=5.0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        q.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got == [None]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)

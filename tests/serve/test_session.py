@@ -1,0 +1,167 @@
+"""Tests for the request lifecycle: store, executor, coalescing, cancel.
+
+These run the inline executor against a *gated* dispatch stub so the
+tests control exactly when a request is RUNNING — lifecycle races
+(cancel-while-queued, coalesce-onto-running, queue-full shed) become
+deterministic instead of timing-dependent.
+"""
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import ChaosRequest
+from repro.errors import EXIT_INTERNAL, EXIT_OK
+from repro.serve import EventBus, Executor, ResultCache, SessionStore
+from repro.serve.protocol import CANCELLED, DONE, FAILED, QUEUED, RUNNING
+from tests.serve.conftest import POISON_SEED, wait_for
+
+
+@pytest.fixture
+def harness(gates):
+    cache = ResultCache(64)
+    events = EventBus()
+    store = SessionStore()
+    executor = Executor(workers=0, queue_size=8, cache=cache, events=events)
+    executor.start()
+    yield SimpleNamespace(
+        cache=cache, events=events, store=store, executor=executor, gates=gates
+    )
+    for gate in gates.values():  # never leave the dispatcher blocked
+        gate.set()
+    executor.stop()
+
+
+class TestSessionStore:
+    def test_sequential_ids_and_lookup(self):
+        store = SessionStore()
+        t1 = store.create(ChaosRequest(seed=1))
+        t2 = store.create(ChaosRequest(seed=2))
+        assert (t1.id, t2.id) == ("r-000001", "r-000002")
+        assert store.get(t1.id) is t1
+        assert store.get("r-999999") is None
+        assert len(store) == 2
+        assert t1.digest == ChaosRequest(seed=1).digest()
+
+
+class TestLifecycle:
+    def test_submit_to_done(self, harness):
+        ticket = harness.store.create(ChaosRequest(seed=1))
+        assert harness.executor.submit(ticket) == "queued"
+        assert ticket.done.wait(10.0)
+        assert ticket.state == DONE
+        assert ticket.exit_code == EXIT_OK
+        assert ticket.envelope["ok"] is True
+        # the result landed in the cache under the request digest
+        assert harness.cache.get(ticket.digest) == ticket.envelope
+        names = [e["event"] for e in harness.events.events(ticket.id)]
+        assert names == ["queued", "running", "progress", "done"]
+        assert [e["seq"] for e in harness.events.events(ticket.id)] == [0, 1, 2, 3]
+        assert harness.executor.completed == 1
+        status = ticket.status()
+        assert status["state"] == DONE and status["ok"] is True
+
+    def test_failure_settles_ticket_not_gateway(self, harness):
+        ticket = harness.store.create(ChaosRequest(seed=POISON_SEED))
+        assert harness.executor.submit(ticket) == "queued"
+        assert ticket.done.wait(10.0)
+        assert ticket.state == FAILED
+        assert ticket.exit_code == EXIT_INTERNAL
+        assert "boom at poison seed" in ticket.error
+        assert harness.executor.failed == 1
+        assert harness.events.events(ticket.id)[-1]["event"] == "failed"
+        # a failed run is never cached — the next submit retries it
+        harness.gates[POISON_SEED] = threading.Event()
+        retry = harness.store.create(ChaosRequest(seed=POISON_SEED))
+        assert harness.executor.submit(retry) == "queued"
+        harness.gates[POISON_SEED].set()
+        assert retry.done.wait(10.0)
+        assert retry.state == FAILED  # still poisoned, but it *ran* again
+
+    def test_drain_waits_for_settlement(self, harness):
+        tickets = [harness.store.create(ChaosRequest(seed=s)) for s in (1, 2, 3)]
+        for ticket in tickets:
+            harness.executor.submit(ticket)
+        assert harness.executor.drain(timeout=10.0)
+        assert harness.executor.idle()
+        assert all(t.state == DONE for t in tickets)
+
+
+class TestCoalescing:
+    def test_identical_inflight_digest_coalesces(self, harness):
+        harness.gates[1] = threading.Event()
+        primary = harness.store.create(ChaosRequest(seed=1))
+        assert harness.executor.submit(primary) == "queued"
+        assert wait_for(lambda: primary.state == RUNNING)
+        follower = harness.store.create(ChaosRequest(seed=1))
+        assert harness.executor.submit(follower) == "coalesced"
+        assert follower.coalesced is True
+        harness.gates[1].set()
+        assert primary.done.wait(10.0) and follower.done.wait(10.0)
+        assert follower.state == DONE
+        assert follower.envelope is primary.envelope  # one execution
+        assert harness.executor.coalesced == 1
+        first = harness.events.events(follower.id)[0]
+        assert first["coalesced_with"] == primary.id
+
+    def test_cancelled_primary_promotes_follower(self, harness):
+        harness.gates[1] = threading.Event()
+        blocker = harness.store.create(ChaosRequest(seed=1))
+        assert harness.executor.submit(blocker) == "queued"
+        assert wait_for(lambda: blocker.state == RUNNING)
+        primary = harness.store.create(ChaosRequest(seed=2))
+        assert harness.executor.submit(primary) == "queued"
+        follower = harness.store.create(ChaosRequest(seed=2))
+        assert harness.executor.submit(follower) == "coalesced"
+        # cancel the ticket that physically occupies the queue slot
+        assert harness.executor.cancel(primary)
+        harness.gates[1].set()
+        # the follower inherits the slot and completes
+        assert follower.done.wait(10.0)
+        assert follower.state == DONE
+        assert primary.state == CANCELLED
+
+
+class TestCancel:
+    def test_cancel_queued_only(self, harness):
+        harness.gates[1] = threading.Event()
+        running = harness.store.create(ChaosRequest(seed=1))
+        harness.executor.submit(running)
+        assert wait_for(lambda: running.state == RUNNING)
+        queued = harness.store.create(ChaosRequest(seed=2))
+        harness.executor.submit(queued)
+        assert queued.state == QUEUED
+
+        assert harness.executor.cancel(queued) is True
+        assert queued.state == CANCELLED and queued.done.is_set()
+        assert harness.executor.cancel(queued) is False  # already terminal
+        assert harness.executor.cancel(running) is False  # already running
+        assert harness.executor.cancelled == 1
+        assert harness.events.events(queued.id)[-1]["event"] == "cancelled"
+
+        harness.gates[1].set()
+        assert running.done.wait(10.0)
+        assert running.state == DONE
+
+
+class TestBackpressure:
+    def test_full_queue_reports_busy(self, gates):
+        cache, events, store = ResultCache(8), EventBus(), SessionStore()
+        executor = Executor(workers=0, queue_size=1, cache=cache, events=events)
+        executor.start()
+        try:
+            gates[1] = threading.Event()
+            running = store.create(ChaosRequest(seed=1))
+            assert executor.submit(running) == "queued"
+            assert wait_for(lambda: running.state == RUNNING)
+            filler = store.create(ChaosRequest(seed=2))
+            assert executor.submit(filler) == "queued"
+            shed = store.create(ChaosRequest(seed=3))
+            assert executor.submit(shed) == "busy"
+            assert executor.queue.shed == 1
+            gates[1].set()
+            assert filler.done.wait(10.0)
+        finally:
+            gates[1].set()
+            executor.stop()
