@@ -40,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import json
 import typing as t
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from urllib.parse import parse_qs
 
@@ -67,6 +68,8 @@ class GatewayConfig:
             dispatcher thread (serial, but streams intra-run progress).
         queue_size: admission queue bound — the backpressure knob.
         cache_size: result-cache capacity (LRU entries).
+        store_limit: retained tickets bound — past it the oldest
+            settled tickets (and their event streams) are pruned.
     """
 
     host: str = "127.0.0.1"
@@ -74,6 +77,7 @@ class GatewayConfig:
     workers: int = 0
     queue_size: int = 32
     cache_size: int = 256
+    store_limit: int = 1024
 
 
 class Gateway:
@@ -83,7 +87,14 @@ class Gateway:
         self.config = config or GatewayConfig()
         self.cache = ResultCache(self.config.cache_size)
         self.events = EventBus()
-        self.store = SessionStore()
+        self.store = SessionStore(limit=self.config.store_limit,
+                                  events=self.events)
+        # blocking waits (?wait=1, event-stream tailing) get their own
+        # pool so many concurrent waiters cannot starve the default
+        # executor, which stop()'s drain and other off-loop work use
+        self._wait_pool = ThreadPoolExecutor(
+            max_workers=64, thread_name_prefix="serve-wait"
+        )
         self.executor = Executor(
             workers=self.config.workers,
             queue_size=self.config.queue_size,
@@ -115,6 +126,9 @@ class Gateway:
             await self._server.wait_closed()
         self.executor.stop()
         self._stopped.set()
+        # waiters poll in bounded slices and re-check _stopped, so
+        # in-flight futures retire promptly
+        self._wait_pool.shutdown(wait=False, cancel_futures=True)
 
     async def serve_forever(self) -> None:
         """Run until a ``POST /v1/shutdown`` completes the drain."""
@@ -282,12 +296,14 @@ class Gateway:
         cached = self.cache.get(digest)
         if cached is not None:
             ticket = self.store.create(request)
-            ticket.state = protocol.DONE
+            # same ordering contract as Executor._settle: result fields
+            # before state, terminal event before done.set()
             ticket.envelope = cached
             ticket.cached = True
-            ticket.done.set()
+            ticket.state = protocol.DONE
             self.events.emit(ticket.id, {"event": protocol.DONE,
                                          "ok": cached["ok"], "cached": True})
+            ticket.done.set()
             await self._respond(writer, 200, ticket.status())
             return
 
@@ -301,13 +317,20 @@ class Gateway:
             )
             return
         if wait:
-            await asyncio.get_running_loop().run_in_executor(
-                None, ticket.done.wait
-            )
+            await self._await_ticket(ticket)
             await self._respond(writer, self._ticket_status_code(ticket),
                                 ticket.status())
         else:
             await self._respond(writer, 202, ticket.status())
+
+    async def _await_ticket(self, ticket: Ticket) -> None:
+        """Block off-loop, in bounded slices, until the ticket settles."""
+        loop = asyncio.get_running_loop()
+        while not ticket.done.is_set() and not self._stopped.is_set():
+            try:
+                await loop.run_in_executor(self._wait_pool, ticket.done.wait, 0.5)
+            except RuntimeError:  # wait pool shut down mid-request
+                break
 
     # -- event streaming ----------------------------------------------------
     async def _stream_events(
@@ -328,16 +351,24 @@ class Gateway:
         loop = asyncio.get_running_loop()
         cursor = 0
         terminal = False
-        while not terminal:
-            batch = await loop.run_in_executor(
-                None, self.events.wait, ticket_id, cursor, 0.25
-            )
+        while not terminal and not self._stopped.is_set():
+            try:
+                batch = await loop.run_in_executor(
+                    self._wait_pool, self.events.wait, ticket_id, cursor, 0.25
+                )
+            except RuntimeError:  # wait pool shut down mid-stream
+                break
             for event in batch:
                 writer.write(event_line(event))
                 if event.get("event") in protocol.TERMINAL:
                     terminal = True
             cursor += len(batch)
             await writer.drain()
+            # a settled ticket with nothing more buffered has nothing
+            # more to say (its stream may have been pruned) — exit
+            # rather than poll forever
+            if not batch and not terminal and ticket.done.is_set():
+                break
 
     # -- introspection ------------------------------------------------------
     def stats(self) -> dict[str, t.Any]:

@@ -26,6 +26,8 @@ import json
 import threading
 import typing as t
 
+from repro.serve import protocol
+
 
 def event_line(event: dict[str, t.Any]) -> bytes:
     """One NDJSON wire line (canonical JSON + newline)."""
@@ -41,10 +43,17 @@ class EventBus:
         self._streams: dict[str, list[dict[str, t.Any]]] = {}
 
     def emit(self, ticket_id: str, event: dict[str, t.Any]) -> None:
-        """Append one event to the ticket's stream (assigns ``seq``)."""
+        """Append one event to the ticket's stream (assigns ``seq``).
+
+        Past ``history_limit`` further ``progress`` is dropped, but
+        terminal events always land: the stream tail loop exits on
+        them, so a chatty request must not be able to push its own
+        completion off the stream.
+        """
         with self._cond:
             stream = self._streams.setdefault(ticket_id, [])
-            if len(stream) < self.history_limit:
+            if (len(stream) < self.history_limit
+                    or event.get("event") in protocol.TERMINAL):
                 stream.append({"id": ticket_id, "seq": len(stream), **event})
             self._cond.notify_all()
 

@@ -80,12 +80,27 @@ class Ticket:
 
 
 class SessionStore:
-    """Allocates ticket ids and answers status/cancel lookups."""
+    """Allocates ticket ids and answers status/cancel lookups.
 
-    def __init__(self) -> None:
+    Retention is bounded: past ``limit`` held tickets, the oldest
+    *settled* ones (terminal state, ``done`` set) are pruned and their
+    event streams dropped, so a long-running gateway's memory tracks
+    active work plus a bounded history window — not total requests
+    served.  A pruned id answers 404 thereafter.  In-flight tickets are
+    never pruned.
+    """
+
+    def __init__(
+        self, *, limit: int = 1024, events: EventBus | None = None
+    ) -> None:
+        if limit < 1:
+            raise ValueError("session store limit must be >= 1")
+        self.limit = limit
+        self._events = events
         self._lock = threading.Lock()
         self._tickets: dict[str, Ticket] = {}
         self._counter = 0
+        self.pruned = 0
 
     def create(self, request: Request) -> Ticket:
         with self._lock:
@@ -97,7 +112,28 @@ class SessionStore:
                 digest=request.digest(),
             )
             self._tickets[ticket.id] = ticket
-            return ticket
+            evicted = self._prune_locked()
+        if self._events is not None:
+            for ticket_id in evicted:
+                self._events.drop(ticket_id)
+        return ticket
+
+    def _prune_locked(self) -> list[str]:
+        overflow = len(self._tickets) - self.limit
+        if overflow <= 0:
+            return []
+        evicted: list[str] = []
+        # insertion order == ticket age; only fully settled tickets go.
+        # ``done`` is set strictly after the terminal event is emitted,
+        # so dropping the stream here cannot lose a terminal event.
+        for ticket_id, ticket in list(self._tickets.items()):
+            if len(evicted) >= overflow:
+                break
+            if ticket.state in protocol.TERMINAL and ticket.done.is_set():
+                del self._tickets[ticket_id]
+                evicted.append(ticket_id)
+        self.pruned += len(evicted)
+        return evicted
 
     def get(self, ticket_id: str) -> Ticket | None:
         with self._lock:
@@ -242,33 +278,50 @@ class Executor:
                 return ticket
             with self._lock:
                 group = self._inflight.get(ticket.digest)
-                ticket = group[0] if group else None
+                promoted = group[0] if group else None
+            # Cancel + resubmit of a digest leaves a dead queue entry
+            # plus a duplicate entry for the new primary; once that
+            # primary is claimed it stays group head until it settles,
+            # so only follow to a *different* ticket — re-promoting the
+            # one that just failed _begin would spin forever.
+            ticket = promoted if promoted is not ticket else None
         return None
 
     def _settle(self, ticket: Ticket, envelope: dict[str, t.Any] | None,
                 error: str | None) -> None:
         """Finish the primary ticket and every coalesced follower."""
-        with self._lock:
-            group = self._inflight.pop(ticket.digest, [ticket])
         if envelope is not None:
             self.cache.put(ticket.digest, envelope)
-        for member in group:
-            if member.state == protocol.CANCELLED:  # pragma: no cover - race
-                continue
-            if envelope is not None:
-                member.state = protocol.DONE
-                member.envelope = envelope
-                member.exit_code = EXIT_OK if envelope["ok"] else EXIT_FAILURE
-                self.completed += 1
+        settled: list[Ticket] = []
+        with self._lock:
+            group = self._inflight.pop(ticket.digest, [ticket])
+            for member in group:
+                if member.state == protocol.CANCELLED:  # pragma: no cover - race
+                    continue
+                # result fields land before the state flips so a
+                # concurrent status() never observes "done" without its
+                # envelope; the lock serialises against cancel()
+                if envelope is not None:
+                    member.envelope = envelope
+                    member.exit_code = EXIT_OK if envelope["ok"] else EXIT_FAILURE
+                    member.state = protocol.DONE
+                    self.completed += 1
+                else:
+                    member.error = error
+                    member.exit_code = EXIT_INTERNAL
+                    member.state = protocol.FAILED
+                    self.failed += 1
+                settled.append(member)
+        for member in settled:
+            if member.state == protocol.DONE:
                 self.events.emit(
-                    member.id, {"event": protocol.DONE, "ok": envelope["ok"]}
+                    member.id, {"event": protocol.DONE, "ok": member.envelope["ok"]}
                 )
             else:
-                member.state = protocol.FAILED
-                member.error = error
-                member.exit_code = EXIT_INTERNAL
-                self.failed += 1
                 self.events.emit(member.id, {"event": protocol.FAILED, "error": error})
+            # done is set only after the terminal event: store pruning
+            # keys on done.is_set(), so a pruned (dropped) stream has
+            # already delivered its terminal event
             member.done.set()
 
     def _run_inline(self) -> None:

@@ -57,6 +57,18 @@ class TestEventBus:
             bus.emit("t", {"event": "progress", "i": i})
         assert len(bus.events("t")) == 3
 
+    def test_terminal_event_survives_history_limit(self):
+        # regression: a chatty request must not push its own completion
+        # off the stream — tailing clients exit on the terminal event
+        bus = EventBus(history_limit=3)
+        for i in range(10):
+            bus.emit("t", {"event": "progress", "i": i})
+        bus.emit("t", {"event": "done", "ok": True})
+        events = bus.events("t")
+        assert len(events) == 4
+        assert events[-1]["event"] == "done"
+        assert [e["seq"] for e in events] == [0, 1, 2, 3]
+
     def test_drop(self):
         bus = EventBus()
         bus.emit("t", {"event": "queued"})

@@ -178,6 +178,24 @@ class TestSubmitAndCache:
             assert [e["seq"] for e in events] == list(range(len(events)))
             assert all(e["id"] == ticket_id for e in events)
 
+    def test_event_stream_ends_for_chatty_request(self, gates):
+        # regression: with the history window full of lifecycle events,
+        # progress is dropped but the terminal event still lands, so
+        # the stream closes instead of polling forever
+        @gateway_test()
+        async def _(gw):
+            gw.events.history_limit = 2  # queued + running fill it
+            status, body = await http_json(
+                gw.port, "POST", "/v1/chaos?wait=1", {"seed": 1}
+            )
+            assert status == 200 and body["state"] == "done"
+            status, raw = await http(
+                gw.port, "GET", f"/v1/requests/{body['id']}/events"
+            )
+            assert status == 200
+            events = [json.loads(line) for line in raw.splitlines() if line]
+            assert [e["event"] for e in events] == ["queued", "running", "done"]
+
     def test_failed_request_reports_500(self, gates):
         @gateway_test()
         async def _(gw):

@@ -44,6 +44,30 @@ class TestSessionStore:
         assert len(store) == 2
         assert t1.digest == ChaosRequest(seed=1).digest()
 
+    def test_settled_tickets_pruned_at_limit_with_streams(self):
+        # regression: a long-running gateway must not retain every
+        # ticket (and its event stream) it ever served
+        bus = EventBus()
+        store = SessionStore(limit=2, events=bus)
+        old = store.create(ChaosRequest(seed=1))
+        old.state = DONE
+        old.done.set()
+        bus.emit(old.id, {"event": "done"})
+        active = store.create(ChaosRequest(seed=2))  # stays queued
+        newest = store.create(ChaosRequest(seed=3))
+        assert store.get(old.id) is None  # oldest settled ticket went
+        assert bus.events(old.id) == []  # ...with its stream
+        assert store.get(active.id) is active
+        assert store.get(newest.id) is newest
+        assert len(store) == 2
+        assert store.pruned == 1
+
+    def test_inflight_tickets_never_pruned(self):
+        store = SessionStore(limit=1)
+        live = [store.create(ChaosRequest(seed=s)) for s in (1, 2, 3)]
+        assert all(store.get(t.id) is t for t in live)
+        assert len(store) == 3
+
 
 class TestLifecycle:
     def test_submit_to_done(self, harness):
@@ -104,6 +128,29 @@ class TestCoalescing:
         assert harness.executor.coalesced == 1
         first = harness.events.events(follower.id)[0]
         assert first["coalesced_with"] == primary.id
+
+    def test_cancel_resubmit_duplicate_entry_does_not_livelock(self):
+        # regression: cancelling a QUEUED primary and resubmitting the
+        # same digest leaves the queue holding the dead entry plus the
+        # new primary.  Pool mode drains both before either settles;
+        # claiming the duplicate must give up, not spin on the
+        # already-RUNNING group head forever.
+        executor = Executor(
+            workers=0, queue_size=8, cache=ResultCache(8), events=EventBus()
+        )  # never started: this test *is* the dispatcher
+        store = SessionStore()
+        dead = store.create(ChaosRequest(seed=1))
+        assert executor.submit(dead) == "queued"
+        assert executor.cancel(dead)
+        fresh = store.create(ChaosRequest(seed=1))
+        assert executor.submit(fresh) == "queued"
+        # pulling the dead entry promotes the resubmitted primary
+        assert executor.queue.try_get() is dead
+        assert executor._claim(dead) is fresh
+        assert fresh.state == RUNNING
+        # pulling the duplicate entry terminates instead of livelocking
+        assert executor.queue.try_get() is fresh
+        assert executor._claim(fresh) is None
 
     def test_cancelled_primary_promotes_follower(self, harness):
         harness.gates[1] = threading.Event()
