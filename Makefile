@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale verify-smoke sweep-smoke malleable-smoke serve-smoke lint-imports
+.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale verify-smoke sweep-smoke malleable-smoke serve-smoke snapshot-smoke lint-imports
 
 ## Full tier-1 suite (the CI gate).
 test:
@@ -100,5 +100,14 @@ serve-smoke:
 	print('serve determinism check: OK')"
 	rm -f .serve-smoke-a.json .serve-smoke-b.json
 
+## Smoke: the incremental-simulation layer end to end — the snapshot
+## suite must pass, resume-from-snapshot must stay byte-identical to
+## the straight run across a parallel seed sweep, and a what-if query
+## must answer through the CLI.
+snapshot-smoke:
+	$(PYTHON) -m pytest -q tests/snapshot tests/serve/test_whatif.py -m "not slow"
+	$(PYTHON) -m repro.cli verify --relation snapshot-equivalence --seeds 2 -j 2
+	$(PYTHON) -m repro.cli whatif run --rm eslurm --n-nodes 32 --n-jobs 20 --seed 7 --at-s 43200 --perturb submit-job --job-nodes 4
+
 lint-imports:
-	$(PYTHON) -c "import repro, repro.api, repro.bench, repro.chaos, repro.oracle, repro.parallel, repro.serve, repro.telemetry, repro.cli"
+	$(PYTHON) -c "import repro, repro.api, repro.bench, repro.chaos, repro.oracle, repro.parallel, repro.serve, repro.telemetry, repro.cli, repro.snapshot"

@@ -170,6 +170,40 @@ def build_rm(
     return CentralizedRM.from_name(rm_name, cluster.sim, cluster, estimator=estimator, **kwargs)
 
 
+def prepare_rm_day(
+    rm: str | type[ResourceManager],
+    cluster: Cluster,
+    n_jobs: int = 500,
+    seed: int = 0,
+    horizon_s: float = DAY,
+    workload: WorkloadConfig | None = None,
+    estimator: t.Any = None,
+    **rm_kwargs: t.Any,
+) -> tuple[ResourceManager, list[t.Any]]:
+    """Build the RM and its day of workload without running anything.
+
+    The construction half of :func:`run_rm_day`, shared with
+    :mod:`repro.snapshot` so a snapshot world is built by *exactly* the
+    same code path as a straight run — the prerequisite for replay-based
+    restore being byte-identical.  Returns ``(manager, jobs)``; nothing
+    has been scheduled on the simulator yet.
+    """
+    cfg = workload or WorkloadConfig(
+        max_nodes=max(cluster.n_nodes // 4, 1),
+        jobs_per_day=n_jobs / (horizon_s / DAY),
+    )
+    jobs = generate_trace(cfg, n_jobs, seed=seed, start_time=cluster.sim.now + 1.0)
+    # Clip any stragglers the generator placed beyond the horizon.
+    jobs = [j for j in jobs if j.submit_time < cluster.sim.now + horizon_s * 0.95]
+    if isinstance(rm, str):
+        manager = build_rm(rm, cluster, estimator=estimator, **rm_kwargs)
+    else:
+        manager = rm(cluster.sim, cluster, estimator=estimator, **rm_kwargs) if rm is EslurmRM else rm(
+            cluster.sim, cluster, RM_PROFILES["slurm"], estimator=estimator, **rm_kwargs
+        )
+    return manager, jobs
+
+
 def run_rm_day(
     rm: str | type[ResourceManager],
     cluster: Cluster,
@@ -192,21 +226,41 @@ def run_rm_day(
             job sizes fit the cluster.
         estimator: runtime estimator handed to the RM.
     """
-    cfg = workload or WorkloadConfig(
-        max_nodes=max(cluster.n_nodes // 4, 1),
-        jobs_per_day=n_jobs / (horizon_s / DAY),
+    manager, jobs = prepare_rm_day(
+        rm,
+        cluster,
+        n_jobs=n_jobs,
+        seed=seed,
+        horizon_s=horizon_s,
+        workload=workload,
+        estimator=estimator,
+        **rm_kwargs,
     )
-    jobs = generate_trace(cfg, n_jobs, seed=seed, start_time=cluster.sim.now + 1.0)
-    # Clip any stragglers the generator placed beyond the horizon.
-    jobs = [j for j in jobs if j.submit_time < cluster.sim.now + horizon_s * 0.95]
-    if isinstance(rm, str):
-        manager = build_rm(rm, cluster, estimator=estimator, **rm_kwargs)
-    else:
-        manager = rm(cluster.sim, cluster, estimator=estimator, **rm_kwargs) if rm is EslurmRM else rm(
-            cluster.sim, cluster, RM_PROFILES["slurm"], estimator=estimator, **rm_kwargs
-        )
     manager.run_trace(jobs, until=cluster.sim.now + horizon_s)
     return manager.report(horizon_s=horizon_s)
+
+
+def rm_kwargs_for_config(
+    config: SimulationConfig, cluster: Cluster
+) -> dict[str, t.Any]:
+    """RM constructor kwargs implied by a :class:`SimulationConfig`.
+
+    Shared between :func:`run_simulation` and :mod:`repro.snapshot` so
+    the elastic-scheduler and placement wiring cannot drift between the
+    straight-run and snapshot-world construction paths.
+    """
+    rm_kwargs: dict[str, t.Any] = {}
+    if config.malleable:
+        from repro.sched.backfill import BackfillScheduler
+
+        rm_kwargs["scheduler"] = BackfillScheduler(malleable=True)
+    if config.placement != "first-fit":
+        from repro.sched.placement import build_placement
+
+        rm_kwargs["placement"] = build_placement(
+            config.placement, cluster.topology, alert_source=cluster.monitor
+        )
+    return rm_kwargs
 
 
 def run_simulation(
@@ -237,17 +291,7 @@ def run_simulation(
             failures=config.failures,
             monitoring=config.monitoring,
         )
-        rm_kwargs: dict[str, t.Any] = {}
-        if config.malleable:
-            from repro.sched.backfill import BackfillScheduler
-
-            rm_kwargs["scheduler"] = BackfillScheduler(malleable=True)
-        if config.placement != "first-fit":
-            from repro.sched.placement import build_placement
-
-            rm_kwargs["placement"] = build_placement(
-                config.placement, cluster.topology, alert_source=cluster.monitor
-            )
+        rm_kwargs = rm_kwargs_for_config(config, cluster)
         report = run_rm_day(
             config.rm,
             cluster,
@@ -277,6 +321,8 @@ from repro.api.requests import (  # noqa: E402
     SimulateResponse,
     VerifyRequest,
     VerifyResponse,
+    WhatIfRequest,
+    WhatIfResponse,
     canonical_json,
     dispatch,
     dispatch_wire,

@@ -206,10 +206,81 @@ class EstimateRequest(Request):
             raise ConfigurationError("user_estimate_s must be positive")
 
 
+@dataclass(frozen=True, kw_only=True)
+class WhatIfRequest(Request):
+    """One what-if delta-replay: run a base day to ``at_s``, snapshot,
+    apply a perturbation, and finish the day from the snapshot.
+
+    The base-day fields mirror :class:`SimulateRequest`; ``perturb`` is
+    the perturbation's wire dict (see
+    :mod:`repro.snapshot.perturb`), normalised at construction to its
+    full explicit form so two requests that mean the same work always
+    share one digest — and therefore one cache slot and one coalesced
+    execution in the gateway.
+    """
+
+    kind: t.ClassVar[str] = "what-if"
+
+    rm: str = "eslurm"
+    n_nodes: int = 1024
+    n_satellites: int = 2
+    failures: bool = False
+    monitoring: bool | None = None
+    n_jobs: int = 500
+    horizon_s: float = DAY
+    placement: str = "first-fit"
+    malleable: bool = False
+    #: snapshot point, simulated seconds after the day starts
+    at_s: float = DAY / 2
+    #: wire form of the perturbation to apply at the snapshot
+    perturb: dict[str, t.Any] = field(
+        default_factory=lambda: {"kind": "submit-job"}
+    )
+
+    def __post_init__(self) -> None:
+        self.to_sim_config()  # SimulationConfig owns the base-day rules
+        if not 0.0 <= self.at_s < self.horizon_s:
+            raise ConfigurationError(
+                f"at_s={self.at_s} must lie in [0, horizon_s={self.horizon_s})"
+            )
+        # Validate and canonicalise: defaults become explicit, so the
+        # digest is invariant to how sparsely the caller spelled it.
+        object.__setattr__(self, "perturb", self.perturbation().to_wire())
+
+    def perturbation(self) -> t.Any:
+        from repro.snapshot.perturb import perturbation_from_wire
+
+        return perturbation_from_wire(self.perturb)
+
+    def to_sim_config(self) -> "SimulationConfig":
+        """The base-day config (telemetry off: snapshot worlds exclude
+        host-clock measurement by design)."""
+        from repro.api import SimulationConfig
+
+        return SimulationConfig(
+            rm=self.rm,
+            n_nodes=self.n_nodes,
+            n_satellites=self.n_satellites,
+            seed=self.seed,
+            failures=self.failures,
+            monitoring=self.monitoring,
+            n_jobs=self.n_jobs,
+            horizon_s=self.horizon_s,
+            placement=self.placement,
+            malleable=self.malleable,
+        )
+
+
 #: kind name -> request class (the wire-format registry)
 REQUEST_TYPES: dict[str, type[Request]] = {
     cls.kind: cls
-    for cls in (SimulateRequest, ChaosRequest, VerifyRequest, EstimateRequest)
+    for cls in (
+        SimulateRequest,
+        ChaosRequest,
+        VerifyRequest,
+        EstimateRequest,
+        WhatIfRequest,
+    )
 }
 
 REQUEST_KINDS: tuple[str, ...] = tuple(sorted(REQUEST_TYPES))
@@ -345,6 +416,23 @@ class EstimateResponse(Response):
         }
 
 
+@dataclass(frozen=True)
+class WhatIfResponse(Response):
+    outcome: t.Any = None  # WhatIfOutcome
+
+    def result(self) -> dict[str, t.Any]:
+        payload = self.outcome.to_payload()
+        # `warm` is a host-side execution detail (did the live world get
+        # reused), not a simulation fact — keep the cached body purely
+        # simulation-deterministic, like every other response.
+        payload.pop("warm", None)
+        payload["rm"] = self.request.rm
+        payload["n_nodes"] = self.request.n_nodes
+        payload["seed"] = self.request.seed
+        payload["at_s"] = self.request.at_s
+        return payload
+
+
 # ---------------------------------------------------------------------------
 # dispatch — the single entry point the CLI and the gateway adapt
 # ---------------------------------------------------------------------------
@@ -457,11 +545,39 @@ def _run_estimate(request: EstimateRequest, progress: Progress) -> EstimateRespo
     )
 
 
+def _run_whatif(request: WhatIfRequest, progress: Progress) -> WhatIfResponse:
+    from repro.snapshot import SimWorld, capture, what_if
+
+    if progress is not None:
+        progress(
+            f"what-if: rm={request.rm} nodes={request.n_nodes} "
+            f"at_s={request.at_s:g} perturb={request.perturb['kind']} "
+            f"seed={request.seed}"
+        )
+    world = SimWorld(request.to_sim_config())
+    world.run_until(world.sim.now + request.at_s)
+    snapshot = capture(world)
+    if progress is not None:
+        progress(
+            f"what-if: snapshot at event {snapshot.event_index} "
+            f"(t={snapshot.sim_now:g}s), replaying delta"
+        )
+    outcome = what_if(snapshot, request.perturbation())
+    if progress is not None:
+        progress(
+            f"what-if: done, resumed {outcome.events_resumed} of "
+            f"{outcome.events_total} events "
+            f"({outcome.events_at_snapshot} reused from the base run)"
+        )
+    return WhatIfResponse(request=request, ok=True, outcome=outcome)
+
+
 _HANDLERS: dict[type[Request], t.Callable[[t.Any, Progress], Response]] = {
     SimulateRequest: _run_simulate,
     ChaosRequest: _run_chaos,
     VerifyRequest: _run_verify,
     EstimateRequest: _run_estimate,
+    WhatIfRequest: _run_whatif,
 }
 
 

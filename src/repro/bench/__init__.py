@@ -36,6 +36,14 @@ from repro.bench.sweep import (
     run_sweep_baseline,
     sweep_digest,
 )
+from repro.bench.whatif import (
+    WHATIF_PATH,
+    WHATIF_SCHEMA,
+    dump_whatif,
+    load_whatif,
+    render_whatif,
+    run_whatif_bench,
+)
 from repro.bench.scenarios import (
     PAPER_FULL_SCENARIO,
     PAPER_SCALE,
@@ -59,6 +67,8 @@ __all__ = [
     "SCHEMA",
     "SWEEP_PATH",
     "SWEEP_SCHEMA",
+    "WHATIF_PATH",
+    "WHATIF_SCHEMA",
     "BenchResult",
     "BenchScenario",
     "MatrixSweep",
@@ -67,19 +77,23 @@ __all__ = [
     "compare_baseline",
     "dump_baseline",
     "dump_sweep",
+    "dump_whatif",
     "get_scenario",
     "is_deterministic_metric",
     "load_baseline",
     "load_bench_file",
     "load_sweep",
+    "load_whatif",
     "profile_bench",
     "render_markdown",
     "render_sweep",
     "render_text",
+    "render_whatif",
     "run_bench",
     "run_matrix",
     "run_matrix_sweep",
     "run_sweep_baseline",
+    "run_whatif_bench",
     "sweep_digest",
     "validate_payload",
     "write_bench_file",

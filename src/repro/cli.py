@@ -370,6 +370,52 @@ def _bench_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_whatif_configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rm", default="eslurm", help="RM profile (default eslurm)")
+    parser.add_argument(
+        "--n-nodes", type=int, default=1024,
+        help="compute nodes (default 1024, the paper tier)",
+    )
+    parser.add_argument("--n-jobs", type=int, default=500, help="jobs (default 500)")
+    parser.add_argument(
+        "--horizon-s", type=float, default=86_400.0, help="simulated span (default 1 day)"
+    )
+    parser.add_argument(
+        "--cuts", default="0.25,0.5,0.75",
+        help="comma-separated snapshot cuts as day fractions (default 0.25,0.5,0.75)",
+    )
+
+
+def _bench_whatif(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import WHATIF_PATH, dump_whatif, render_whatif, run_whatif_bench
+
+    try:
+        cuts = [float(part) for part in str(args.cuts).split(",") if part.strip()]
+        payload = run_whatif_bench(
+            seed=args.seed,
+            rm=args.rm,
+            n_nodes=args.n_nodes,
+            n_jobs=args.n_jobs,
+            horizon_s=args.horizon_s,
+            cuts=cuts,
+            progress=None if args.json else print,
+        )
+    except Exception as exc:
+        args._parser.error(str(exc))
+    text = dump_whatif(payload)
+    if args.json:
+        print(text, end="")
+    else:
+        print(render_whatif(payload))
+    path = Path(args.out if args.out is not None else WHATIF_PATH)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    print(f"what-if cost file written -> {path}")
+    return 0 if payload["whatif_cheaper_than_rerun"] else 1
+
+
 def _bench_files_configure(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("files", nargs="+", help="BENCH_*.json files")
 
@@ -503,6 +549,11 @@ BENCH_COMMANDS = (
         "sweep", "record the matrix sweep-scaling file (jobs=1/2/4 walls + digests)",
         _bench_sweep_configure, _bench_sweep, common=True,
         out_help="sweep file path (default: benchmarks/BENCH_sweep.json)",
+    ),
+    Subcommand(
+        "whatif", "record the what-if delta-replay cost file (full run vs snapshot resume)",
+        _bench_whatif_configure, _bench_whatif, common=True,
+        out_help="what-if cost file path (default: benchmarks/BENCH_whatif.json)",
     ),
     Subcommand(
         "serve-load", "load-test the gateway and record benchmarks/BENCH_serve.json",
@@ -883,6 +934,111 @@ ESTIMATE_COMMANDS = (
 
 
 # ---------------------------------------------------------------------------
+# repro whatif
+# ---------------------------------------------------------------------------
+def _whatif_run_configure(parser: argparse.ArgumentParser) -> None:
+    _simulate_run_configure(parser)  # the base day is a simulate request
+    parser.add_argument(
+        "--at-s", type=float, default=43_200.0,
+        help="simulated seconds into the day to snapshot at (default 43200)",
+    )
+    parser.add_argument(
+        "--perturb", default="submit-job",
+        help="perturbation kind (submit-job | fail-node | cancel-job)",
+    )
+    parser.add_argument(
+        "--job-nodes", type=int, default=8,
+        help="[submit-job] probe job width (default 8)",
+    )
+    parser.add_argument(
+        "--job-runtime-s", type=float, default=3600.0,
+        help="[submit-job] probe job runtime (default 3600)",
+    )
+    parser.add_argument(
+        "--job-limit-s", type=float, default=None,
+        help="[submit-job] probe job wall request (default: none)",
+    )
+    parser.add_argument(
+        "--node-id", type=int, default=0, help="[fail-node] node to fail (default 0)"
+    )
+    parser.add_argument(
+        "--duration-s", type=float, default=3600.0,
+        help="[fail-node] outage length (default 3600)",
+    )
+    parser.add_argument(
+        "--job-id", type=int, default=0, help="[cancel-job] job to cancel (default 0)"
+    )
+
+
+def _whatif_perturb_wire(args: argparse.Namespace) -> dict:
+    """Only the flags that belong to the chosen kind enter the wire dict,
+    so unrelated defaults never pollute the request digest."""
+    if args.perturb == "submit-job":
+        return {
+            "kind": "submit-job",
+            "job_nodes": args.job_nodes,
+            "job_runtime_s": args.job_runtime_s,
+            "job_limit_s": args.job_limit_s,
+        }
+    if args.perturb == "fail-node":
+        return {"kind": "fail-node", "node_id": args.node_id, "duration_s": args.duration_s}
+    if args.perturb == "cancel-job":
+        return {"kind": "cancel-job", "job_id": args.job_id}
+    # Unknown kinds fall through so perturbation_from_wire reports the
+    # valid choices in one place.
+    return {"kind": args.perturb}
+
+
+def _whatif_run(args: argparse.Namespace) -> int:
+    from repro.api import WhatIfRequest
+    from repro.api import dispatch as api_dispatch
+    from repro.errors import ConfigurationError
+
+    try:
+        request = WhatIfRequest(
+            rm=args.rm,
+            n_nodes=args.n_nodes,
+            n_satellites=args.n_satellites,
+            seed=args.seed,
+            failures=args.failures,
+            n_jobs=args.n_jobs,
+            horizon_s=args.horizon_s,
+            placement=args.placement,
+            malleable=args.malleable,
+            at_s=args.at_s,
+            perturb=_whatif_perturb_wire(args),
+        )
+    except ConfigurationError as exc:
+        args._parser.error(str(exc))
+    response = api_dispatch(request, progress=None if args.json or args.out else print)
+    if args.json:
+        _emit(json.dumps(response.to_wire(), sort_keys=True, indent=2), args.out)
+    else:
+        result = response.result()
+        probe = json.dumps(result["probe"], sort_keys=True)
+        saved = result["events_at_snapshot"]
+        total = result["events_total"]
+        _emit(
+            f"what-if {args.perturb} at t={request.at_s:g}s "
+            f"({args.rm}, {args.n_nodes} nodes, seed {args.seed})\n"
+            f"  probe: {probe}\n"
+            f"  delta-replay: {result['events_resumed']} of {total} events "
+            f"({saved} reused, {saved / total:.0%} of the day skipped)\n"
+            f"  digest={request.digest()}",
+            args.out,
+        )
+    return 0
+
+
+WHATIF_COMMANDS = (
+    Subcommand(
+        "run", "snapshot a simulated day and delta-replay one perturbation",
+        _whatif_run_configure, _whatif_run, common=True,
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
 # repro serve
 # ---------------------------------------------------------------------------
 def _serve_run_configure(parser: argparse.ArgumentParser) -> None:
@@ -938,6 +1094,7 @@ FAMILIES: dict[str, tuple[str, tuple[Subcommand, ...]]] = {
     "verify": ("Run the correctness oracles against the current tree.", VERIFY_COMMANDS),
     "simulate": ("Run one simulated RM day from a typed request envelope.", SIMULATE_COMMANDS),
     "estimate": ("Query the runtime estimator as a service.", ESTIMATE_COMMANDS),
+    "whatif": ("Snapshot a simulated day and delta-replay perturbations.", WHATIF_COMMANDS),
     "serve": ("Run the HTTP/JSON simulation gateway.", SERVE_COMMANDS),
 }
 
@@ -949,6 +1106,7 @@ DEFAULT_VERBS: dict[str, str] = {
     "bench": "run",
     "simulate": "run",
     "estimate": "run",
+    "whatif": "run",
     "serve": "run",
 }
 

@@ -17,7 +17,12 @@ import typing as t
 
 import numpy as np
 
-from repro.api import SimulationConfig, TelemetryConfig, run_simulation
+from repro.api import (
+    SimulationConfig,
+    TelemetryConfig,
+    canonical_json,
+    run_simulation,
+)
 from repro.cluster.failures import FailureModel
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.topology import Topology
@@ -394,6 +399,99 @@ class TopologyPlacementRelation(Relation):
         return self._result(ok_frag and ok_clean, detail)
 
 
+class SnapshotEquivalenceRelation(Relation):
+    """Straight run vs snapshot/resume of the identical day, byte for byte.
+
+    One config is run three ways: straight to the horizon, paused at an
+    event boundary k and *warm*-resumed, and cold-restored at k (rebuild
+    from config, replay k events, verified state digest) then resumed.
+    All three must produce the identical golden trace hash (the
+    ``add_trace_hook`` seam — every event's exact ``(time, priority,
+    seq)``) and the identical canonical final payload.  Checked for both
+    backends at sampled split points including the k=0 and k=last
+    degenerate cuts — the guarantee ``repro whatif`` and the gateway's
+    ``what-if`` kind rest on.
+    """
+
+    name = "snapshot-equivalence"
+    layer = "differential"
+    section = "VI (simulation methodology), VII (what-if evaluation)"
+    claim = "resume-from-snapshot is byte-identical to the straight run (trace hash + payload)"
+
+    def __init__(
+        self,
+        n_nodes: int = 32,
+        n_satellites: int = 2,
+        n_jobs: int = 30,
+        horizon_s: float = DAY,
+    ) -> None:
+        # A full-day horizon: the synthetic trace anchors submissions to
+        # diurnal hours, so a short horizon would compare empty machines.
+        self.n_nodes = n_nodes
+        self.n_satellites = n_satellites
+        self.n_jobs = n_jobs
+        self.horizon_s = horizon_s
+
+    def _config(self, rm: str, seed: int) -> SimulationConfig:
+        return SimulationConfig(
+            rm=rm,
+            n_nodes=self.n_nodes,
+            n_satellites=self.n_satellites,
+            seed=seed,
+            failures=rm == "eslurm",  # exercise fault paths on one arm
+            n_jobs=self.n_jobs,
+            horizon_s=self.horizon_s,
+        )
+
+    @staticmethod
+    def _finish(world: "SimWorld", digest: "TraceDigest") -> tuple[str, str]:
+        world.run_to_horizon()
+        return digest.hexdigest(), canonical_json(world.final_payload())
+
+    def _arm(self, rm: str, seed: int) -> list[str]:
+        from repro.snapshot import SimWorld, capture, restore
+
+        config = self._config(rm, seed)
+        straight_world = SimWorld(config)
+        straight_digest = straight_world.attach_trace_digest()
+        straight = self._finish(straight_world, straight_digest)
+        n = straight_world.sim.events_processed
+        breaches: list[str] = []
+        for k in sorted({0, n // 3, (2 * n) // 3, n}):
+            # warm: pause the live world at k, capture, resume it
+            warm_world = SimWorld(config)
+            warm_digest = warm_world.attach_trace_digest()
+            warm_world.run_events_until(k)
+            snapshot = capture(warm_world)
+            warm = self._finish(warm_world, warm_digest)
+            if warm != straight:
+                breaches.append(f"{rm} k={k}: warm resume diverged")
+                continue
+            # cold: rebuild from config, replay k (digest-verified), resume
+            holder: dict[str, t.Any] = {}
+
+            def _hook(world: "SimWorld") -> None:
+                holder["digest"] = world.attach_trace_digest()
+
+            cold_world = restore(snapshot, verify=True, on_build=_hook)
+            cold = self._finish(cold_world, holder["digest"])
+            if cold != straight:
+                breaches.append(f"{rm} k={k}: cold restore diverged")
+        return breaches
+
+    def run(self, seed: int = 0) -> RelationResult:
+        breaches: list[str] = []
+        for rm in ("slurm", "eslurm"):
+            breaches.extend(self._arm(rm, seed))
+        detail = (
+            f"n={self.n_nodes} jobs={self.n_jobs} seed={seed}: "
+            f"slurm+eslurm x {{0, n/3, 2n/3, n}} cuts, warm+cold"
+        )
+        if breaches:
+            detail += " | " + "; ".join(breaches)
+        return self._result(not breaches, detail)
+
+
 #: the differential registry, in paper-section order
 DIFFERENTIAL_RELATIONS: tuple[Relation, ...] = (
     MasterOffloadRelation(),
@@ -401,4 +499,5 @@ DIFFERENTIAL_RELATIONS: tuple[Relation, ...] = (
     EstimatorGateRelation(),
     MalleableThroughputRelation(),
     TopologyPlacementRelation(),
+    SnapshotEquivalenceRelation(),
 )

@@ -77,9 +77,14 @@ class EslurmRM(ResourceManager):
         **kwargs: t.Any,
     ) -> None:
         if estimator == "auto":
+            # The direct default_rng(seed) derivation is frozen into the
+            # golden traces; adopt() makes the stream visible to snapshot
+            # getstate/setstate without changing a single draw.
             estimator = EslurmEstimator(
                 EstimatorConfig(aea_gate=0.0, k_clusters=40),
-                rng=np.random.default_rng(sim.rng.seed),
+                rng=sim.rng.adopt(
+                    "eslurm.estimator", np.random.default_rng(sim.rng.seed)
+                ),
             )
         super().__init__(sim, cluster, profile or ESLURM_PROFILE, estimator=estimator, **kwargs)
         self.sat_pool = SatellitePool(sim, cluster, SATELLITE_PROFILE)

@@ -10,7 +10,6 @@ from __future__ import annotations
 import heapq
 import time
 import typing as t
-from itertools import count
 
 from repro.errors import SimulationError
 from repro.simkit.events import PRIORITY_NORMAL, PRIORITY_URGENT, Event, Timeout
@@ -42,7 +41,9 @@ class Simulator:
     def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: list[tuple[float, int, int, Event]] = []
-        self._seq = count()
+        # A plain int rather than itertools.count so snapshots can
+        # capture and compare the tiebreaker state.
+        self._seq = 0
         self.rng = RngRegistry(seed)
         #: number of events processed so far (observability / debugging)
         self.events_processed = 0
@@ -79,7 +80,9 @@ class Simulator:
         """Queue a triggered event to fire ``delay`` units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next *live* scheduled event, or ``inf`` if none.
@@ -201,6 +204,70 @@ class Simulator:
             if sim_advance > 0:
                 tel.observe("host.sim.wall_per_sim_s", wall / sim_advance)
 
+    # -- snapshot seams ------------------------------------------------------
+    def run_until_count(self, count: int, deadline: float = _INFINITY) -> int:
+        """Process live events until ``events_processed`` reaches ``count``.
+
+        The replay half of cold snapshot restore
+        (:mod:`repro.snapshot`): a rebuilt world replays exactly the
+        events the captured world had processed, pausing at the same
+        event boundary.  Kept separate from :meth:`run` so the hot loop
+        stays branch-free.  Stops early if the heap drains or the next
+        live event lies beyond ``deadline``; never advances the clock to
+        the deadline (event-boundary semantics).  Returns the number of
+        events processed by this call.
+        """
+        if count < self.events_processed:
+            raise SimulationError(
+                f"run_until_count({count}) is in the past "
+                f"(events_processed={self.events_processed})"
+            )
+        before = self.events_processed
+        while self.events_processed < count:
+            when = self.peek()
+            if when == _INFINITY or when > deadline:
+                break
+            self.step()
+        return self.events_processed - before
+
+    def restore_clock(self, when: float) -> None:
+        """Advance the clock to ``when`` without processing events.
+
+        :meth:`run` with a float deadline leaves the clock *at* the
+        deadline even when the last event fired earlier; a replay that
+        pauses on an event boundary needs this seam to reproduce that
+        final clock value exactly.  Moving backwards is an error.
+        """
+        when = float(when)
+        if when < self._now:
+            raise SimulationError(
+                f"restore_clock({when}) would move time backwards (now={self._now})"
+            )
+        self._now = when
+
+    def snapshot_state(self) -> dict[str, t.Any]:
+        """Structural kernel state for snapshot capture/verification.
+
+        Purely observational: the heap is reported as the sorted list of
+        *live* entries (cancelled events are lazily deleted, so their
+        physical heap position is timing-dependent and must not leak
+        into the captured state).  Event objects are reduced to
+        :meth:`repro.simkit.events.Event.describe` dicts — identity that
+        is stable across a rebuild-and-replay of the same world.
+        """
+        live = sorted(
+            (entry for entry in self._heap if not entry[3].cancelled),
+            key=lambda entry: entry[:3],
+        )
+        return {
+            "now": self._now,
+            "seq": self._seq,
+            "events_processed": self.events_processed,
+            "heap": [
+                [when, prio, seq, event.describe()] for when, prio, seq, event in live
+            ],
+        }
+
     @staticmethod
     def _stop_on(event: Event) -> None:
         if not event.ok:
@@ -240,7 +307,9 @@ class Simulator:
         ev._value = None  # noqa: SLF001
         assert ev.callbacks is not None
         ev.callbacks.append(lambda _ev: func())
-        heapq.heappush(self._heap, (when, PRIORITY_URGENT, next(self._seq), ev))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (when, PRIORITY_URGENT, seq, ev))
         return ev
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -124,6 +124,24 @@ class Event:
         else:
             self.fail(t.cast(BaseException, event._value))
 
+    # -- snapshot identity ---------------------------------------------
+    def describe(self) -> dict[str, t.Any]:
+        """Structural identity for snapshot capture (:mod:`repro.snapshot`).
+
+        Deliberately excludes object ids and payload values (which may
+        hold arbitrary non-serialisable objects): two worlds built from
+        the same config and driven to the same event boundary must
+        produce equal ``describe()`` dicts for corresponding events.
+        """
+        return {
+            "type": type(self).__name__,
+            "triggered": self.triggered,
+            "cancelled": self.cancelled,
+            "defused": self.defused,
+            "ok": self._ok,
+            "callbacks": None if self.callbacks is None else len(self.callbacks),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
@@ -142,6 +160,11 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         sim.schedule(self, PRIORITY_NORMAL, delay)
+
+    def describe(self) -> dict[str, t.Any]:
+        state = super().describe()
+        state["delay"] = self.delay
+        return state
 
 
 class Condition(Event):

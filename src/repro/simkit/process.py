@@ -115,6 +115,14 @@ class Process(Event):
             target.callbacks.append(self._resume)
             self._waiting_on = target
 
+    def describe(self) -> dict[str, t.Any]:
+        state = super().describe()
+        state["name"] = self.name
+        state["waiting"] = (
+            None if self._waiting_on is None else type(self._waiting_on).__name__
+        )
+        return state
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else "alive"
         return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,70 @@
+"""Incremental simulation: deterministic snapshot/restore and what-if.
+
+The package answers one question cheaply and trustworthily: *"what
+would the rest of the day look like if X happened now?"* — without
+rerunning the whole day, and without ever returning a silently-wrong
+answer.
+
+* :class:`SimWorld` — a simulated RM day built by the exact
+  ``run_simulation`` construction path, paused under caller control.
+* :func:`capture` / :class:`Snapshot` — a verifiable checkpoint:
+  structural state tree + canonical digest + (optionally) the live
+  paused world.
+* :func:`restore` — cold rebuild-and-replay to the captured event
+  boundary, verified field-by-field against the capture.
+* :func:`what_if` + perturbations (:class:`SubmitJob`,
+  :class:`FailNode`, :class:`CancelJob`) — delta-replay from the
+  snapshot point to the horizon.
+
+Resume-from-snapshot is byte-identical to the straight run: same golden
+trace hashes (the PR-3 ``add_trace_hook`` seam), same final payloads.
+The ``snapshot-equivalence`` oracle relation and the property sweeps in
+``tests/snapshot`` enforce this across backends, seeds, and split
+points.
+"""
+
+from repro.snapshot.capture import (
+    canonical_state_json,
+    capture_state,
+    first_divergence,
+    state_digest,
+)
+from repro.snapshot.core import (
+    Snapshot,
+    SnapshotError,
+    WhatIfOutcome,
+    capture,
+    restore,
+    what_if,
+)
+from repro.snapshot.perturb import (
+    PERTURBATION_TYPES,
+    PROBE_JOB_ID_BASE,
+    CancelJob,
+    FailNode,
+    Perturbation,
+    SubmitJob,
+    perturbation_from_wire,
+)
+from repro.snapshot.world import SimWorld
+
+__all__ = [
+    "CancelJob",
+    "FailNode",
+    "PERTURBATION_TYPES",
+    "PROBE_JOB_ID_BASE",
+    "Perturbation",
+    "SimWorld",
+    "Snapshot",
+    "SnapshotError",
+    "SubmitJob",
+    "WhatIfOutcome",
+    "canonical_state_json",
+    "capture",
+    "capture_state",
+    "first_divergence",
+    "perturbation_from_wire",
+    "restore",
+    "state_digest",
+    "what_if",
+]

@@ -17,6 +17,7 @@ from repro.api import (
     REQUEST_KINDS,
     SimulateRequest,
     VerifyRequest,
+    WhatIfRequest,
     dispatch,
     request_from_wire,
 )
@@ -54,8 +55,21 @@ class TestDigest:
             ChaosRequest(seed=3).digest(),
             VerifyRequest(seed=3).digest(),
             EstimateRequest(seed=3).digest(),
+            WhatIfRequest(seed=3).digest(),
         }
-        assert len(digests) == 4
+        assert len(digests) == 5
+
+    def test_whatif_sparse_and_explicit_perturb_collide(self):
+        # the perturbation is canonicalised into the digest, so a sparse
+        # wire form and its fully spelled-out equivalent share one cache
+        # slot
+        sparse = WhatIfRequest(seed=3, perturb={"kind": "submit-job"})
+        explicit = WhatIfRequest(
+            seed=3,
+            perturb={"kind": "submit-job", "job_nodes": 8,
+                     "job_runtime_s": 3600.0, "job_limit_s": None},
+        )
+        assert sparse.digest() == explicit.digest()
 
     def test_digest_stable_across_processes(self):
         # Two cells on a real spawned pool (two tasks + jobs=2 forces
@@ -84,6 +98,8 @@ class TestWire:
         ChaosRequest(scenario="flapping-node", seed=4),
         VerifyRequest(seed=5, layers=("metamorphic",), relations=("rack-relabel-score",)),
         EstimateRequest(seed=6, n_history=60, max_nodes=16),
+        WhatIfRequest(seed=7, n_nodes=64, at_s=7200.0,
+                      perturb={"kind": "fail-node", "node_id": 3}),
     ])
     def test_wire_round_trip(self, request_):
         rebuilt = request_from_wire(request_.to_wire())
@@ -93,7 +109,7 @@ class TestWire:
         json.dumps(request_.to_wire())
 
     def test_kinds_registry(self):
-        assert REQUEST_KINDS == ("chaos", "estimate", "simulate", "verify")
+        assert REQUEST_KINDS == ("chaos", "estimate", "simulate", "verify", "what-if")
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown request kind"):

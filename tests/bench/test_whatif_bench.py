@@ -1,0 +1,65 @@
+"""Tests for the what-if bench artifact (tiny tier, not paper scale)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    dump_whatif,
+    load_whatif,
+    render_whatif,
+    run_whatif_bench,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_whatif_bench(
+        seed=1, rm="eslurm", n_nodes=16, n_jobs=10, horizon_s=86_400.0,
+        cuts=(0.25, 0.75),
+    )
+
+
+class TestRunWhatifBench:
+    def test_anchors_are_deterministic(self, payload):
+        again = run_whatif_bench(
+            seed=1, rm="eslurm", n_nodes=16, n_jobs=10, horizon_s=86_400.0,
+            cuts=(0.25, 0.75),
+        )
+        assert again["anchors"] == payload["anchors"]
+
+    def test_cut_accounting_adds_up(self, payload):
+        for cut in payload["anchors"]["cuts"].values():
+            assert cut["events_at_snapshot"] + cut["events_resumed"] == (
+                cut["events_total"]
+            )
+            assert 0.0 <= cut["fraction_skipped"] < 1.0
+
+    def test_host_section_separated_from_anchors(self, payload):
+        assert set(payload["host"]["cuts"]) == set(payload["anchors"]["cuts"])
+        assert "wall" not in json.dumps(payload["anchors"])
+
+    def test_bad_cut_rejected(self):
+        with pytest.raises(ConfigurationError, match="cut"):
+            run_whatif_bench(n_nodes=16, n_jobs=5, cuts=(1.5,))
+
+
+class TestArtifactIo:
+    def test_roundtrip_through_file(self, payload, tmp_path):
+        path = tmp_path / "BENCH_whatif.json"
+        text = dump_whatif(payload)
+        assert text.endswith("\n")
+        path.write_text(text)
+        assert load_whatif(path) == payload
+
+    def test_wrong_schema_rejected(self, payload, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({**payload, "schema": "other/9"}))
+        with pytest.raises(ConfigurationError, match="schema"):
+            load_whatif(path)
+
+    def test_render_mentions_every_cut(self, payload):
+        text = render_whatif(payload)
+        for key in payload["anchors"]["cuts"]:
+            assert key in text

@@ -15,6 +15,7 @@ from repro.oracle.differential import (
     FPTreeFailureBoundRelation,
     MalleableThroughputRelation,
     MasterOffloadRelation,
+    SnapshotEquivalenceRelation,
     TopologyPlacementRelation,
 )
 
@@ -40,13 +41,18 @@ class TestRelationsHold:
         result = TopologyPlacementRelation().run(seed=oracle_seed)
         assert result.ok, result.detail
 
-    def test_registry_is_the_five_relations(self):
+    def test_snapshot_equivalence(self, oracle_seed):
+        result = SnapshotEquivalenceRelation(n_jobs=20).run(seed=oracle_seed)
+        assert result.ok, result.detail
+
+    def test_registry_is_the_six_relations(self):
         assert [type(r) for r in DIFFERENTIAL_RELATIONS] == [
             MasterOffloadRelation,
             FPTreeFailureBoundRelation,
             EstimatorGateRelation,
             MalleableThroughputRelation,
             TopologyPlacementRelation,
+            SnapshotEquivalenceRelation,
         ]
 
 
@@ -55,6 +61,8 @@ class _SwappedArms(MasterOffloadRelation):
 
     def _arm(self, rm, seed):
         return super()._arm("eslurm" if rm == "slurm" else "slurm", seed)
+
+
 
 
 class TestPerturbationsAreCaught:
@@ -116,3 +124,22 @@ class TestPerturbationsAreCaught:
         result = TopologyPlacementRelation().run(seed=0)
         assert not result.ok
         assert "scored worse" in result.detail
+
+    def test_leaky_restore_fails_snapshot_equivalence(self, monkeypatch):
+        # A restore that schedules one stray no-op event after replay is
+        # no longer byte-identical — the extra event shifts every
+        # subsequent (time, priority, seq) triple and the cold arm must
+        # be rejected, not absorbed.
+        import repro.snapshot as snap
+
+        real_restore = snap.restore
+
+        def leaky(snapshot, verify=True, on_build=None):
+            world = real_restore(snapshot, verify=verify, on_build=on_build)
+            world.sim.call_at(world.sim.now, lambda: None)
+            return world
+
+        monkeypatch.setattr(snap, "restore", leaky)
+        result = SnapshotEquivalenceRelation(n_jobs=10).run(seed=0)
+        assert not result.ok
+        assert "cold restore diverged" in result.detail

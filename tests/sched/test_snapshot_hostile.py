@@ -1,0 +1,95 @@
+"""Snapshot equivalence under hostile scheduler state.
+
+Two families the straight-line equivalence sweep would rarely cut
+through by chance: an *open* maintenance window (nodes drained, return
+date known to the scheduler), and a malleable job mid-resize (elastic
+protocol counters non-zero, pool holding a resized allocation).  In
+both, resume-from-snapshot must stay byte-identical to the straight
+run.  The announced-but-not-yet-effective failure sibling lives in
+``tests/simkit/test_snapshot_seams.py`` next to the kernel seams.
+"""
+
+from repro.api import SimulationConfig, WorkloadConfig
+from repro.snapshot import SimWorld
+from tests.snapshot.helpers import cold_split_run, straight_run, warm_split_run
+
+
+def boundary_of(config, predicate, setup=None):
+    """Event index of the first boundary where ``predicate(world)`` holds.
+
+    Deterministic: the same config + setup reproduces the same boundary,
+    so the index can be reused to cut an independently built world.
+    """
+    world = SimWorld(config)
+    if setup is not None:
+        setup(world)
+    while not predicate(world):
+        before = world.sim.events_processed
+        if world.run_events_until(before + 1) == 0:
+            raise AssertionError("predicate never held before the horizon")
+    return world.sim.events_processed
+
+
+def assert_split_equivalent(config, k, setup=None):
+    straight, _ = straight_run(config, setup=setup)
+    snapshot, warm = warm_split_run(config, k, setup=setup)
+    assert warm == straight
+    assert cold_split_run(snapshot, setup=setup) == straight
+    return snapshot
+
+
+class TestMaintenanceWindowOpen:
+    CONFIG = SimulationConfig(
+        rm="eslurm", n_nodes=32, n_satellites=2, seed=3, n_jobs=30,
+        horizon_s=86_400.0,
+    )
+    AT = 3 * 3600.0
+    DURATION = 2 * 3600.0
+    NODES = (0, 1, 2, 3)
+
+    @classmethod
+    def open_window(cls, world):
+        world.cluster.failures.schedule_maintenance(cls.AT, cls.NODES, cls.DURATION)
+
+    def test_resume_inside_window_is_byte_identical(self):
+        k = boundary_of(
+            self.CONFIG, lambda w: w.sim.now > self.AT, setup=self.open_window
+        )
+        snapshot = assert_split_equivalent(self.CONFIG, k, setup=self.open_window)
+        # Premise: the cut really fell inside the open window.
+        assert self.AT < snapshot.sim_now < self.AT + self.DURATION
+
+    def test_window_end_survives_the_cut(self):
+        k = boundary_of(
+            self.CONFIG, lambda w: w.sim.now > self.AT, setup=self.open_window
+        )
+        _, warm = warm_split_run(self.CONFIG, k, setup=self.open_window)
+        world = SimWorld(self.CONFIG)
+        self.open_window(world)
+        world.run_events_until(k)
+        assert world.cluster.failures.maintenance_until(0) == self.AT + self.DURATION
+
+
+class TestMalleableMidResize:
+    # Elastic jobs need a workload that emits them; half the trace is
+    # malleable so the protocol exercises grows AND shrinks by day end.
+    CONFIG = SimulationConfig(
+        rm="eslurm", n_nodes=16, n_satellites=2, seed=0, failures=True,
+        n_jobs=40, horizon_s=86_400.0, malleable=True,
+        workload=WorkloadConfig(max_nodes=8, jobs_per_day=40, malleable_fraction=0.5),
+    )
+
+    @staticmethod
+    def resized(world):
+        return world.rm.resize_grows + world.rm.resize_shrinks > 0
+
+    def test_resume_just_after_first_resize_is_byte_identical(self):
+        k = boundary_of(self.CONFIG, self.resized)
+        snapshot = assert_split_equivalent(self.CONFIG, k)
+        assert snapshot.state["sim"]["events_processed"] == k
+
+    def test_resize_counters_are_part_of_the_captured_state(self):
+        k = boundary_of(self.CONFIG, self.resized)
+        snapshot, _ = warm_split_run(self.CONFIG, k)
+        rm_state = snapshot.state["rm"]
+        assert rm_state["resize_grows"] + rm_state["resize_shrinks"] > 0

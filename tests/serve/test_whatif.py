@@ -1,0 +1,125 @@
+"""Gateway coverage for the ``what-if`` request kind.
+
+The kind rides the generic typed-envelope machinery, so the gateway
+needs no what-if-specific code — these tests pin that down: worker
+digests match parent digests, identical perturbations hit the cache
+(including the sparse-vs-explicit wire forms), in-flight duplicates
+coalesce, and malformed perturbations surface as HTTP 400 with the
+CLI's config exit code.
+"""
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import WhatIfRequest
+from repro.parallel import Task, run_tasks
+from repro.serve import EventBus, Executor, ResultCache
+from repro.serve.protocol import DONE, RUNNING
+from tests.serve.conftest import wait_for
+from tests.serve.test_gateway import gateway_test, http_json
+
+#: small machine and day so real-dispatch tests stay sub-second
+SMALL = {"rm": "eslurm", "n_nodes": 8, "n_satellites": 2, "n_jobs": 5}
+
+
+class TestWorkerDigests:
+    def test_digest_stable_across_spawned_workers(self):
+        # Two cells on a real spawned pool (jobs=2 forces the pool path):
+        # the digest a worker stamps on its what-if response must equal
+        # the digest the parent computes for the same request.
+        requests = [
+            WhatIfRequest(seed=21, **SMALL),
+            WhatIfRequest(seed=22, **SMALL,
+                          perturb={"kind": "cancel-job", "job_id": 1}),
+        ]
+        tasks = [
+            Task(id=f"t{i}", kind="serve", spec={"request": r.to_wire()})
+            for i, r in enumerate(requests)
+        ]
+        results = run_tasks(tasks, jobs=2)
+        for request, result in zip(requests, results):
+            assert result.ok, result.error
+            assert result.value["response"]["digest"] == request.digest()
+
+
+class TestCacheAndCoalescing:
+    def test_repeat_whatif_served_from_cache(self):
+        # real dispatch end to end; the repeat must not re-simulate
+        @gateway_test()
+        async def _(gw):
+            wire = {**SMALL, "seed": 5, "perturb": {"kind": "submit-job"}}
+            status, first = await http_json(
+                gw.port, "POST", "/v1/what-if?wait=1", wire
+            )
+            assert status == 200, first
+            assert first["state"] == "done" and first["ok"] is True
+            assert first["cached"] is False
+            assert first["result"]["probe"] is not None
+
+            status, again = await http_json(
+                gw.port, "POST", "/v1/what-if?wait=1", wire
+            )
+            assert status == 200
+            assert again["cached"] is True
+            assert again["digest"] == first["digest"]
+
+            # a sparse perturbation and its spelled-out equivalent share
+            # one digest, so the explicit form is also a hit
+            explicit = {
+                **SMALL, "seed": 5,
+                "perturb": {"kind": "submit-job", "job_nodes": 8,
+                            "job_runtime_s": 3600.0, "job_limit_s": None},
+            }
+            status, spelled = await http_json(
+                gw.port, "POST", "/v1/what-if?wait=1", explicit
+            )
+            assert spelled["cached"] is True
+            assert spelled["digest"] == first["digest"]
+
+            _, stats = await http_json(gw.port, "GET", "/v1/stats")
+            assert stats["cache"]["hits"] >= 2
+            assert stats["executor"]["completed"] == 1  # one real run
+
+    def test_identical_inflight_whatif_coalesces(self, gates):
+        from repro.serve import SessionStore
+
+        cache = ResultCache(16)
+        events = EventBus()
+        store = SessionStore()
+        executor = Executor(workers=0, queue_size=8, cache=cache, events=events)
+        executor.start()
+        try:
+            gates[31] = threading.Event()
+            primary = store.create(WhatIfRequest(seed=31, **SMALL))
+            assert executor.submit(primary) == "queued"
+            assert wait_for(lambda: primary.state == RUNNING)
+            follower = store.create(WhatIfRequest(seed=31, **SMALL))
+            assert executor.submit(follower) == "coalesced"
+            gates[31].set()
+            assert primary.done.wait(10.0) and follower.done.wait(10.0)
+            assert follower.state == DONE
+            assert follower.envelope is primary.envelope  # one execution
+        finally:
+            for gate in gates.values():
+                gate.set()
+            executor.stop()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("wire", [
+        {"perturb": {"kind": "teleport"}},
+        {"perturb": {"kind": "submit-job", "nodes": 4}},
+        {"perturb": {"kind": "fail-node", "duration_s": -1.0}},
+        {"at_s": 999_999.0},  # beyond the horizon
+        {"at_z": 1.0},  # unknown envelope field
+    ])
+    def test_malformed_whatif_gets_400_with_config_exit_code(self, wire):
+        @gateway_test()
+        async def _(gw):
+            status, body = await http_json(
+                gw.port, "POST", "/v1/what-if", {**SMALL, **wire}
+            )
+            assert status == 400, (wire, body)
+            assert body["exit_code"] == 3  # EXIT_CONFIG, the CLI code

@@ -1,0 +1,59 @@
+"""Shared equivalence-test plumbing for the snapshot suite.
+
+Every equivalence test compares the same three arms of one config:
+
+* ``straight_run`` — build, run to the horizon, return the golden trace
+  hash and the canonical final payload (the byte-identity pair);
+* ``warm_split_run`` — build, replay ``k`` events, capture, resume the
+  *live* world to the horizon;
+* ``cold_split_run`` — cold-restore the captured snapshot (rebuild +
+  verified replay) and resume the rebuilt world.
+
+``setup`` is an optional deterministic post-build hook (scheduled
+faults, maintenance windows...).  It must be passed identically to all
+three arms — cold restores re-apply it via ``restore``'s ``on_build``
+seam before replay, exactly as the build path did.
+"""
+
+from repro.api import canonical_json
+from repro.snapshot import SimWorld, capture, restore
+
+
+def finish(world, digest):
+    """Run out the day; return (trace hash, canonical payload)."""
+    world.run_to_horizon()
+    return digest.hexdigest(), canonical_json(world.final_payload())
+
+
+def straight_run(config, setup=None):
+    """Returns ((hash, payload), total event count)."""
+    world = SimWorld(config)
+    if setup is not None:
+        setup(world)
+    digest = world.attach_trace_digest()
+    result = finish(world, digest)
+    return result, world.sim.events_processed
+
+
+def warm_split_run(config, k, setup=None):
+    """Pause at event ``k``, capture, resume.  Returns (snapshot, result)."""
+    world = SimWorld(config)
+    if setup is not None:
+        setup(world)
+    digest = world.attach_trace_digest()
+    world.run_events_until(k)
+    snapshot = capture(world)
+    return snapshot, finish(world, digest)
+
+
+def cold_split_run(snapshot, setup=None):
+    """Verified cold restore of ``snapshot``, resumed to the horizon."""
+    holder = {}
+
+    def on_build(world):
+        if setup is not None:
+            setup(world)
+        holder["digest"] = world.attach_trace_digest()
+
+    world = restore(snapshot, verify=True, on_build=on_build)
+    return finish(world, holder["digest"])

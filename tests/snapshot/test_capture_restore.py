@@ -1,0 +1,156 @@
+"""Unit tests for the snapshot core: capture, verified restore, digests."""
+
+import pytest
+
+from repro.api import SimulationConfig, TelemetryConfig
+from repro.errors import ConfigurationError
+from repro.snapshot import (
+    SimWorld,
+    Snapshot,
+    SnapshotError,
+    canonical_state_json,
+    capture,
+    capture_state,
+    first_divergence,
+    restore,
+    state_digest,
+)
+from tests.snapshot.helpers import straight_run
+
+CONFIG = SimulationConfig(
+    rm="eslurm", n_nodes=32, n_satellites=2, seed=3, n_jobs=20, horizon_s=86_400.0
+)
+
+
+def paused_world(k=9000):
+    # 9000 events is mid-day for this config: jobs queued and running.
+    world = SimWorld(CONFIG)
+    world.run_events_until(k)
+    return world
+
+
+class TestCaptureBasics:
+    def test_capture_is_purely_observational(self):
+        (trace_hash, payload), n_events = straight_run(CONFIG)
+        world = SimWorld(CONFIG)
+        digest = world.attach_trace_digest()
+        world.run_events_until(40)
+        capture(world, detach=True)  # must not perturb the run
+        world.run_to_horizon()
+        assert digest.hexdigest() == trace_hash
+        assert world.sim.events_processed == n_events
+        from repro.api import canonical_json
+
+        assert canonical_json(world.final_payload()) == payload
+
+    def test_snapshot_records_boundary_and_digest(self):
+        world = paused_world(50)
+        snapshot = capture(world)
+        assert snapshot.event_index == 50
+        assert snapshot.sim_now == world.sim.now
+        assert snapshot.digest == state_digest(snapshot.state)
+        assert snapshot.config is CONFIG
+
+    def test_warm_world_is_consume_once(self):
+        world = paused_world()
+        snapshot = capture(world)
+        assert snapshot.warm
+        assert snapshot.take_world() is world
+        assert not snapshot.warm
+        assert snapshot.take_world() is None
+
+    def test_detach_drops_live_world(self):
+        world = paused_world()
+        assert not capture(world, detach=True).warm
+        snapshot = capture(world)
+        assert snapshot.detach() is snapshot
+        assert not snapshot.warm
+
+    def test_telemetry_worlds_refused(self):
+        config = SimulationConfig(
+            rm="slurm", n_nodes=16, n_jobs=5, horizon_s=600.0,
+            telemetry=TelemetryConfig(enabled=True),
+        )
+        with pytest.raises(ConfigurationError, match="telemetry"):
+            SimWorld(config)
+
+
+class TestStateWalk:
+    def test_state_tree_is_canonical_json(self):
+        state = capture_state(paused_world())
+        # round-trips through the canonical form without information loss
+        import json
+
+        assert json.loads(canonical_state_json(state)) == state
+        assert state_digest(state).startswith("sha256:")
+
+    def test_first_divergence_names_the_leaf(self):
+        a = {"x": {"y": [1, 2, 3]}, "z": 5}
+        assert first_divergence(a, {"x": {"y": [1, 2, 3]}, "z": 5}) is None
+        assert first_divergence(a, {"x": {"y": [1, 9, 3]}, "z": 5}) == (
+            "$.x.y[1]", 2, 9,
+        )
+        assert first_divergence(a, {"x": {"y": [1, 2]}, "z": 5}) == (
+            "$.x.y.length", 3, 2,
+        )
+        assert first_divergence(a, {"x": {"y": [1, 2, 3]}}) == ("$.z", 5, "<absent>")
+
+    def test_identical_boundary_identical_digest(self):
+        a = capture_state(paused_world(60))
+        b = capture_state(paused_world(60))
+        assert state_digest(a) == state_digest(b)
+        c = capture_state(paused_world(61))
+        assert state_digest(a) != state_digest(c)
+
+
+class TestRestore:
+    def test_restore_verifies_and_reaches_boundary(self):
+        world = paused_world(70)
+        snapshot = capture(world, detach=True)
+        rebuilt = restore(snapshot)
+        assert rebuilt.sim.events_processed == 70
+        assert rebuilt.sim.now == snapshot.sim_now
+        assert state_digest(capture_state(rebuilt)) == snapshot.digest
+
+    def test_restore_leaves_warm_world_attached(self):
+        world = paused_world()
+        snapshot = capture(world)
+        restore(snapshot)
+        assert snapshot.warm  # cold restores never consume the live world
+
+    def test_tampered_state_raises_with_divergent_path(self):
+        snapshot = capture(paused_world(50), detach=True)
+        # Simulate replay divergence: the captured record disagrees with
+        # what the rebuilt world will deterministically reproduce.
+        snapshot.state["queue"]["demand"] += 7
+        snapshot.digest = state_digest(snapshot.state)
+        with pytest.raises(SnapshotError, match=r"\$\.queue\.demand"):
+            restore(snapshot)
+
+    def test_unreachable_event_index_raises(self):
+        world = SimWorld(CONFIG)
+        world.run_to_horizon()
+        total = world.sim.events_processed
+        snapshot = Snapshot(
+            config=CONFIG,
+            event_index=total + 1000,  # beyond the day's event supply
+            sim_now=world.sim.now,
+            state={},
+            digest="sha256:0",
+        )
+        with pytest.raises(SnapshotError, match="diverged"):
+            restore(snapshot, verify=False)
+
+    def test_two_cold_restores_are_independent(self):
+        # Two worlds restored from ONE snapshot must not influence each
+        # other — running the first cannot move the second's outcome.
+        snapshot = capture(paused_world(50), detach=True)
+        first = restore(snapshot)
+        first.run_to_horizon()  # burn the first world completely
+        second = restore(snapshot)
+        second.run_to_horizon()
+        from repro.api import canonical_json
+
+        assert canonical_json(first.final_payload()) == canonical_json(
+            second.final_payload()
+        )

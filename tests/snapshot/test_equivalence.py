@@ -1,0 +1,76 @@
+"""The equivalence property: resume-from-snapshot == the straight run.
+
+For any event boundary ``k`` — including the degenerate ``k=0`` (before
+anything ran) and ``k=last`` (nothing left to resume) — the golden
+trace hash and the canonical final payload of the split run must be
+byte-identical to the straight run's, warm and cold alike, on both
+backends.  The default tier sweeps five seeds per backend with
+hypothesis choosing the cut; ``--slow`` widens the sweep.
+"""
+
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import SimulationConfig
+from tests.snapshot.helpers import cold_split_run, straight_run, warm_split_run
+
+SEEDS = (0, 1, 2, 3, 4)
+SLOW_SEEDS = tuple(range(5, 15))
+
+RMS = ("slurm", "eslurm")
+
+
+def make_config(rm, seed):
+    # A full-day horizon: the synthetic trace anchors submissions to
+    # diurnal hours, so shorter horizons would sweep empty machines.
+    return SimulationConfig(
+        rm=rm,
+        n_nodes=32,
+        n_satellites=2,
+        seed=seed,
+        failures=rm == "eslurm",  # exercise fault machinery on one arm
+        n_jobs=30,
+        horizon_s=86_400.0,
+    )
+
+
+@lru_cache(maxsize=None)
+def straight(rm, seed):
+    return straight_run(make_config(rm, seed))
+
+
+def assert_split_equivalent(rm, seed, k):
+    expected, _ = straight(rm, seed)
+    snapshot, warm = warm_split_run(make_config(rm, seed), k)
+    assert warm == expected, f"{rm} seed={seed} k={k}: warm resume diverged"
+    cold = cold_split_run(snapshot)
+    assert cold == expected, f"{rm} seed={seed} k={k}: cold restore diverged"
+
+
+class TestSplitEquivalence:
+    @pytest.mark.parametrize("rm", RMS)
+    @given(data=st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_random_event_boundary(self, rm, data):
+        seed = data.draw(st.sampled_from(SEEDS))
+        _, n_events = straight(rm, seed)
+        k = data.draw(st.integers(0, n_events))
+        assert_split_equivalent(rm, seed, k)
+
+    @pytest.mark.parametrize("rm", RMS)
+    @pytest.mark.parametrize("seed", [SEEDS[0], SEEDS[-1]])
+    def test_degenerate_boundaries(self, rm, seed):
+        _, n_events = straight(rm, seed)
+        assert_split_equivalent(rm, seed, 0)  # nothing replayed
+        assert_split_equivalent(rm, seed, n_events)  # nothing resumed
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("rm", RMS)
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_wide_seed_sweep(self, rm, seed):
+        _, n_events = straight(rm, seed)
+        for k in sorted({0, n_events // 3, n_events // 2, n_events}):
+            assert_split_equivalent(rm, seed, k)
