@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale verify-smoke sweep-smoke malleable-smoke serve-smoke snapshot-smoke lint-imports
+.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale bench-100k-smoke verify-smoke sweep-smoke malleable-smoke serve-smoke snapshot-smoke lint-imports
 
 ## Full tier-1 suite (the CI gate).
 test:
@@ -50,9 +50,18 @@ bench-smoke:
 ## Paper-scale perf smoke: re-run the 1K-node tier (10K jobs, failures
 ## on) and judge it against the checked-in baseline — deterministic
 ## anchors must match exactly, wall time may not regress beyond +25%.
-## The 4K/16K tiers run via ``repro bench compare`` with no --names.
+## The remaining tiers (up to the minutes-long 131K one) run via
+## ``repro bench compare`` with no --names.
 bench-paper-scale:
 	$(PYTHON) -m repro.cli bench compare benchmarks/BENCH_paper_scale.json --names paper-1024
+
+## 100K-node perf smoke: re-run the 65,536-node small-step tier (the
+## full machine over the 4 h matrix horizon) against the checked-in
+## baseline — exercises the array-backed node state and the batched
+## event kernel at scale while staying seconds-long for CI.  The full
+## paper-65536 / paper-131072 tiers are --slow territory.
+bench-100k-smoke:
+	$(PYTHON) -m repro.cli bench compare benchmarks/BENCH_paper_scale.json --names paper-65536-smoke
 
 ## Smoke: every oracle layer must hold on the current tree, and the
 ## golden digests must be reproducible byte-for-byte.

@@ -108,9 +108,14 @@ SCENARIOS: dict[str, BenchScenario] = _matrix()
 SMOKE_SCENARIO = "slurm-1024"
 
 
+#: the paper-scale machine sizes: the Section VII trio plus the
+#: ROADMAP's next order of magnitude (65K / 131K nodes)
+PAPER_TIER_SIZES = (1024, 4096, 16_384, 65_536, 131_072)
+
+
 def _paper_scale() -> dict[str, BenchScenario]:
     tiers = {}
-    for n_nodes in (1024, 4096, 16_384):
+    for n_nodes in PAPER_TIER_SIZES:
         name = f"paper-{n_nodes}"
         tiers[name] = BenchScenario(
             name=name,
@@ -121,6 +126,20 @@ def _paper_scale() -> dict[str, BenchScenario]:
             n_jobs=10_000,
             horizon_s=DAY,
         )
+    # Small-step variant of the 65K tier for CI (``make bench-100k-smoke``):
+    # the full machine is built — so the array-backed node state and the
+    # event kernel are exercised at scale — but over the 4 h matrix
+    # horizon with a matching slice of the workload, keeping the smoke
+    # run seconds-long where the full tier is --slow territory.
+    tiers["paper-65536-smoke"] = BenchScenario(
+        name="paper-65536-smoke",
+        rm="eslurm",
+        n_nodes=65_536,
+        n_satellites=32,
+        failures=True,
+        n_jobs=2_000,
+        horizon_s=HORIZON_S,
+    )
     # Elastic and topology-aware variants of the smallest tier: same
     # machine and workload volume, but with half the jobs malleable
     # (resp. the topology-aware placement policy) so the malleability

@@ -170,7 +170,7 @@ class FailureInjector:
                 actually_failed.append(nid)
         if not actually_failed:
             return
-        self.cluster.bump_version()
+        self.cluster.bump_version(actually_failed)
         self.events.append(
             FailureEvent(self.sim.now, kind, tuple(actually_failed), recover_at)
         )
@@ -198,7 +198,7 @@ class FailureInjector:
         for until, ids in sorted(deferred.items()):
             self.sim.call_at(until, lambda ids=ids: self._recover(ids))
         if recovered:
-            self.cluster.bump_version()
+            self.cluster.bump_version(recovered)
             self._notify("recover", recovered)
 
     # -- deterministic scenarios ------------------------------------------

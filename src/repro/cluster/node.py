@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ClusterError
 
@@ -35,9 +35,13 @@ class NodeState(enum.Enum):
 RESPONSIVE_STATES = frozenset({NodeState.UP, NodeState.ALLOC})
 
 
-@dataclass
+@dataclass(slots=True)
 class Node:
     """A single machine in the cluster.
+
+    Slotted: the 65K/131K-node tiers materialise one of these per node,
+    and per-instance ``__dict__``s roughly double their memory footprint
+    while slowing every state read in the failure/heartbeat scans.
 
     Attributes:
         node_id: dense integer id, unique within the cluster.

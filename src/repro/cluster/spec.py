@@ -148,10 +148,40 @@ class Cluster:
         #: bumped on every liveness change; consumers cache broadcast
         #: evaluations against it (heartbeat rounds at 20K+ nodes).
         self.version = 0
+        # Incrementally-maintained ids of unresponsive nodes.  Every node
+        # starts UP, so the set starts empty and valid; liveness changes
+        # reported through :meth:`bump_version` with their ids keep it
+        # current in O(changed), while an id-less bump (external code
+        # flipping :class:`Node` state directly) falls back to a full
+        # resweep on the next query.
+        self._unresponsive: set[int] = set()
+        self._unresponsive_stale = False
 
-    def bump_version(self) -> None:
-        """Record that node liveness changed (invalidates broadcast caches)."""
+    def bump_version(self, changed: t.Iterable[int] | None = None) -> None:
+        """Record that node liveness changed (invalidates broadcast caches).
+
+        Pass the ids whose state flipped to keep the unresponsive-id set
+        incremental; without them the next liveness query pays one O(n)
+        sweep over the node table.
+        """
         self.version += 1
+        if changed is None:
+            self._unresponsive_stale = True
+        elif not self._unresponsive_stale:
+            for nid in changed:
+                if self._by_id[nid].responsive:
+                    self._unresponsive.discard(nid)
+                else:
+                    self._unresponsive.add(nid)
+
+    def unresponsive_ids(self) -> frozenset[int]:
+        """Ids of all unresponsive nodes (compute, master, satellites)."""
+        if self._unresponsive_stale:
+            self._unresponsive = {
+                n.node_id for n in self.all_nodes() if not n.responsive
+            }
+            self._unresponsive_stale = False
+        return frozenset(self._unresponsive)
 
     # -- lookup ----------------------------------------------------------
     def all_nodes(self) -> t.Iterator[Node]:
@@ -182,7 +212,8 @@ class Cluster:
 
     def down_ids(self) -> set[int]:
         """Ids of compute nodes currently DOWN or DRAINED."""
-        return {n.node_id for n in self.nodes if not n.responsive}
+        n = len(self.nodes)
+        return {nid for nid in self.unresponsive_ids() if nid < n}
 
     def failed_fraction(self) -> float:
         """Fraction of compute nodes currently unresponsive."""
@@ -194,14 +225,16 @@ class Cluster:
     # -- failure control (delegates used heavily by experiments) -----------
     def fail_nodes(self, node_ids: t.Iterable[int]) -> None:
         """Force the given compute nodes DOWN (deterministic scenarios)."""
-        for nid in node_ids:
+        ids = list(node_ids)
+        for nid in ids:
             self.node(nid).fail()
-        self.bump_version()
+        self.bump_version(ids)
 
     def recover_nodes(self, node_ids: t.Iterable[int]) -> None:
-        for nid in node_ids:
+        ids = list(node_ids)
+        for nid in ids:
             self.node(nid).recover()
-        self.bump_version()
+        self.bump_version(ids)
 
     def fail_fraction(self, fraction: float, rng: t.Any = None) -> list[int]:
         """Fail a random ``fraction`` of compute nodes; returns their ids.

@@ -122,17 +122,18 @@ class NetworkFabric:
         """Ids of currently-unresponsive nodes (compute, master, satellites).
 
         Cached against ``cluster.version`` — the documented contract is
-        that every liveness change bumps it, so the O(n) sweep over the
-        node table is paid once per failure/recovery event instead of
-        once per broadcast.  Code flipping :class:`Node` state directly
-        (bypassing the cluster/injector helpers) must call
+        that every liveness change bumps it.  The cluster maintains the
+        unresponsive-id set incrementally (O(changed) per failure or
+        recovery event), so refreshing the cache never sweeps the node
+        table at machine scale.  Code flipping :class:`Node` state
+        directly (bypassing the cluster/injector helpers) must call
         ``cluster.bump_version()`` itself.
         """
         ver = self.cluster.version
         cached = self._unreachable_cache
         if cached is not None and cached[0] == ver:
             return cached[1]
-        ids = frozenset(n.node_id for n in self.cluster.all_nodes() if not n.responsive)
+        ids = self.cluster.unresponsive_ids()
         self._unreachable_cache = (ver, ids)
         return ids
 

@@ -3,16 +3,45 @@
 The pool is the scheduler's view of the machine: which compute nodes are
 free, which job holds which nodes, and — crucially for backfill — when
 each running job is *believed* to end (its start time plus wall limit).
+
+Internally the pool is struct-of-arrays: per-node state lives in
+parallel columns indexed by a dense column number (``_col`` maps node id
+to column), not in per-node sets.
+
+* ``_state`` — one byte per node: FREE / BUSY / DOWN.  DOWN wins over
+  BUSY for counting purposes (``n_down`` includes down nodes a job still
+  holds), matching the historical set semantics where ``_down``
+  membership and allocation-record membership were independent.
+* ``_owner`` — the job id bound to the node, or -1.  The binding
+  survives ``mark_down`` (the job still holds the node until it is
+  released or shrunk away), which is what makes ``mark_down``/``mark_up``
+  O(1) instead of a scan over every running job's allocation.
+* ``_free_heap`` — the lazy min-heap lane over free ids (may hold stale
+  entries; pops skip ids whose state column is no longer FREE, and the
+  heap is rebuilt from the state column if stale entries dominate).
+
+Aggregate counters (``_n_free``, ``_n_down``) are maintained
+incrementally so capacity checks are O(1); whole-pool views
+(``free_ids``, ``down_ids``, heap rebuilds) are single zip-scans over
+the columns.  Allocation order is unchanged: *first-fit-by-id*, a
+k-node job always receives the k smallest free node ids.
 """
 
 from __future__ import annotations
 
 import heapq
 import typing as t
+from array import array
 from dataclasses import dataclass
 
 from repro.errors import SchedulingError
 from repro.sched.job import Job
+
+#: per-node state column values
+_FREE, _BUSY, _DOWN = 0, 1, 2
+
+#: owner-column value for "no job bound to this node"
+_NO_OWNER = -1
 
 
 @dataclass
@@ -25,25 +54,32 @@ class RunningJob:
 
 
 class NodePool:
-    """Free-set + running-set over a fixed universe of compute nodes.
+    """Struct-of-arrays free/running bookkeeping over a fixed universe.
 
     Allocation order is *first-fit-by-id*: a k-node job always receives
-    the k smallest free node ids.  The free set is mirrored into a lazy
-    min-heap so each allocation costs O(k log n) pops instead of the
-    O(n log n) full sort the naive ``sorted(free)[:k]`` pays; stale heap
-    entries (ids no longer free) are skipped on pop and the heap is
+    the k smallest free node ids.  The free state is mirrored into a
+    lazy min-heap so each allocation costs O(k log n) pops instead of
+    the O(n log n) full sort the naive ``sorted(free)[:k]`` pays; stale
+    heap entries (ids no longer free) are skipped on pop and the heap is
     rebuilt outright if stale entries ever dominate.
     """
 
     def __init__(self, node_ids: t.Iterable[int], placement: t.Any = None) -> None:
-        universe = list(node_ids)
-        if len(set(universe)) != len(universe):
+        ids = sorted(node_ids)
+        if len(set(ids)) != len(ids):
             raise SchedulingError("duplicate node ids in pool")
-        self._universe: set[int] = set(universe)
-        self._free: set[int] = set(universe)
-        #: lazy min-heap over the free set (may hold stale/duplicate ids)
-        self._free_heap: list[int] = sorted(universe)
-        self._down: set[int] = set()
+        #: column -> node id (ascending, so a fresh heap is pre-sorted)
+        self._ids: list[int] = ids
+        #: node id -> column
+        self._col: dict[int, int] = {nid: col for col, nid in enumerate(ids)}
+        #: per-node state column (FREE / BUSY / DOWN)
+        self._state = bytearray(len(ids))
+        #: per-node owning job id (-1 when unbound)
+        self._owner = array("q", [_NO_OWNER]) * len(ids)
+        self._n_free = len(ids)
+        self._n_down = 0
+        #: lazy min-heap lane over the free ids (may hold stale entries)
+        self._free_heap: list[int] = list(ids)
         self.running: dict[int, RunningJob] = {}
         #: memo for :meth:`believed_ends`, dropped whenever ``running`` changes
         self._ends_cache: list[tuple[float, int]] | None = None
@@ -54,37 +90,39 @@ class NodePool:
     # -- capacity ----------------------------------------------------------
     @property
     def n_total(self) -> int:
-        return len(self._universe)
+        return len(self._ids)
 
     @property
     def n_free(self) -> int:
-        return len(self._free)
+        return self._n_free
 
     @property
     def n_down(self) -> int:
-        return len(self._down)
+        return self._n_down
 
     @property
     def n_busy(self) -> int:
-        return self.n_total - self.n_free - self.n_down
+        return len(self._ids) - self._n_free - self._n_down
 
     def has_node(self, node_id: int) -> bool:
         """Whether the node belongs to this pool's universe."""
-        return node_id in self._universe
+        return node_id in self._col
 
     def free_ids(self) -> frozenset[int]:
         """Snapshot of the free set (invariant checking / debugging)."""
-        return frozenset(self._free)
+        state = self._state
+        return frozenset(nid for col, nid in enumerate(self._ids) if state[col] == _FREE)
 
     def down_ids(self) -> frozenset[int]:
         """Snapshot of the out-of-service set."""
-        return frozenset(self._down)
+        state = self._state
+        return frozenset(nid for col, nid in enumerate(self._ids) if state[col] == _DOWN)
 
     def fits(self, job: Job) -> bool:
-        return job.n_nodes <= self.n_free
+        return job.n_nodes <= self._n_free
 
     def fits_width(self, width: int) -> bool:
-        return width <= self.n_free
+        return width <= self._n_free
 
     # -- allocation -----------------------------------------------------------
     def allocate(self, job: Job, now: float, width: int | None = None) -> tuple[int, ...]:
@@ -96,9 +134,10 @@ class NodePool:
         k = job.n_nodes if width is None else width
         if not self.fits_width(k):
             raise SchedulingError(
-                f"job {job.job_id}: wants {k} nodes, {self.n_free} free"
+                f"job {job.job_id}: wants {k} nodes, {self._n_free} free"
             )
         chosen = self._select_free(k)
+        self._bind(chosen, job.job_id)
         # Reservations must rest on the *kill limit* — the only bound the
         # system enforces.  Planning estimates (job.planned_s) steer
         # backfill eligibility, never reservation safety.
@@ -106,33 +145,56 @@ class NodePool:
         self._ends_cache = None
         return chosen
 
+    def _bind(self, node_ids: tuple[int, ...], job_id: int) -> None:
+        owner, col = self._owner, self._col
+        for nid in node_ids:
+            owner[col[nid]] = job_id
+
     def _select_free(self, k: int) -> tuple[int, ...]:
         """``k`` free ids via the placement policy or the first-fit heap."""
         if self.placement is None:
             return self._pop_smallest_free(k)
-        chosen = self.placement.select(self._free, k)
+        chosen = self.placement.select(self.free_ids(), k)
         if chosen is None or len(chosen) != k:
             raise SchedulingError(f"placement returned {chosen!r} for k={k}")
-        # Heap entries go stale; pops skip ids outside the free set.
-        self._free.difference_update(chosen)
+        # Heap entries go stale; pops skip ids whose column left FREE.
+        state, col = self._state, self._col
+        for nid in chosen:
+            c = col[nid]
+            if state[c] == _FREE:
+                state[c] = _BUSY
+                self._n_free -= 1
         return chosen
 
     def _pop_smallest_free(self, k: int) -> tuple[int, ...]:
-        """The k smallest free ids, removed from the free set."""
+        """The k smallest free ids, claimed off the state column."""
         heap = self._free_heap
-        free = self._free
+        state, col = self._state, self._col
         chosen: list[int] = []
         while len(chosen) < k:
             nid = heapq.heappop(heap)
-            if nid in free:
-                free.remove(nid)
+            c = col[nid]
+            if state[c] == _FREE:
+                state[c] = _BUSY
                 chosen.append(nid)
+        self._n_free -= k
         if len(heap) > 4 * self.n_total:
             self._rebuild_heap()
         return tuple(chosen)
 
     def _rebuild_heap(self) -> None:
-        self._free_heap = sorted(self._free)
+        # ``_ids`` ascends, so the filtered list is sorted — a valid heap.
+        state = self._state
+        self._free_heap = [nid for col, nid in enumerate(self._ids) if state[col] == _FREE]
+
+    def _release_node(self, nid: int) -> None:
+        """Unbind one node and free it unless it is out of service."""
+        c = self._col[nid]
+        self._owner[c] = _NO_OWNER
+        if self._state[c] != _DOWN:
+            self._state[c] = _FREE
+            self._n_free += 1
+            heapq.heappush(self._free_heap, nid)
 
     # -- malleability -----------------------------------------------------
     def grow_allocation(self, job_id: int, k: int) -> tuple[int, ...]:
@@ -142,8 +204,9 @@ class NodePool:
         except KeyError:
             raise SchedulingError(f"job {job_id}: not running") from None
         if not self.fits_width(k):
-            raise SchedulingError(f"job {job_id}: grow wants {k} nodes, {self.n_free} free")
+            raise SchedulingError(f"job {job_id}: grow wants {k} nodes, {self._n_free} free")
         chosen = self._select_free(k)
+        self._bind(chosen, job_id)
         rec.node_ids += chosen
         self._ends_cache = None
         return chosen
@@ -152,7 +215,7 @@ class NodePool:
         """Take ``node_ids`` away from a running job; returns them.
 
         Nodes currently marked down (a failure-driven shrink) are
-        removed from the record but *not* returned to the free set —
+        unbound from the record but *not* returned to the free set —
         :meth:`mark_up` frees them on repair.
         """
         try:
@@ -160,15 +223,13 @@ class NodePool:
         except KeyError:
             raise SchedulingError(f"job {job_id}: not running") from None
         removed = tuple(node_ids)
-        held = set(rec.node_ids)
-        if not set(removed) <= held:
+        removed_set = set(removed)
+        if not removed_set <= set(rec.node_ids):
             raise SchedulingError(f"job {job_id}: shrink nodes not held")
-        rec.node_ids = tuple(n for n in rec.node_ids if n not in set(removed))
+        rec.node_ids = tuple(n for n in rec.node_ids if n not in removed_set)
         self._ends_cache = None
-        back = tuple(nid for nid in removed if nid not in self._down)
-        self._free.update(back)
-        for nid in back:
-            heapq.heappush(self._free_heap, nid)
+        for nid in removed:
+            self._release_node(nid)
         return removed
 
     def retime(self, job_id: int, believed_end: float) -> None:
@@ -187,42 +248,56 @@ class NodePool:
         except KeyError:
             raise SchedulingError(f"job {job_id}: not running") from None
         self._ends_cache = None
-        back = tuple(nid for nid in rec.node_ids if nid not in self._down)
-        self._free.update(back)
-        for nid in back:
-            heapq.heappush(self._free_heap, nid)
+        for nid in rec.node_ids:
+            self._release_node(nid)
         return rec.node_ids
 
     # -- failures ---------------------------------------------------------------
     def mark_down(self, node_id: int) -> int | None:
-        """Remove a node from service; returns the running job it kills."""
-        if node_id not in self._universe:
-            raise SchedulingError(f"node {node_id} not in pool")
-        self._down.add(node_id)
-        # A stale heap entry may linger; pops skip ids outside the set.
-        self._free.discard(node_id)
-        for job_id, rec in self.running.items():
-            if node_id in rec.node_ids:
-                return job_id
-        return None
+        """Remove a node from service; returns the running job it kills.
+
+        O(1) via the owner column — the job binding survives the state
+        flip, so no scan over running allocations is needed.
+        """
+        try:
+            c = self._col[node_id]
+        except KeyError:
+            raise SchedulingError(f"node {node_id} not in pool") from None
+        state = self._state
+        if state[c] != _DOWN:
+            if state[c] == _FREE:
+                # A stale heap entry may linger; pops skip non-FREE columns.
+                self._n_free -= 1
+            self._n_down += 1
+            state[c] = _DOWN
+        owner = self._owner[c]
+        return owner if owner != _NO_OWNER else None
 
     def mark_up(self, node_id: int) -> None:
-        """Return a repaired node to the free pool."""
-        if node_id not in self._universe:
-            raise SchedulingError(f"node {node_id} not in pool")
-        if node_id in self._down:
-            self._down.discard(node_id)
-            held = any(node_id in rec.node_ids for rec in self.running.values())
-            if not held:
-                self._free.add(node_id)
+        """Return a repaired node to service (and to the free pool if unbound)."""
+        try:
+            c = self._col[node_id]
+        except KeyError:
+            raise SchedulingError(f"node {node_id} not in pool") from None
+        if self._state[c] == _DOWN:
+            self._n_down -= 1
+            if self._owner[c] == _NO_OWNER:
+                self._state[c] = _FREE
+                self._n_free += 1
                 heapq.heappush(self._free_heap, node_id)
+            else:
+                # The job kept running on its surviving nodes; this one
+                # rejoins the allocation it never formally left.
+                self._state[c] = _BUSY
 
     # -- backfill support ---------------------------------------------------
     def believed_ends(self) -> list[tuple[float, int]]:
-        """``(believed_end, n_nodes)`` of running jobs, soonest first.
+        """``(believed_end, width)`` of running jobs, soonest first.
 
-        Cached between mutations: a scheduling pass may consult this
-        several times (head reservation, telemetry) without re-sorting.
+        The width is the job's *current* allocation size, so resized
+        malleable jobs are walked at their believed width.  Cached
+        between mutations: a scheduling pass may consult this several
+        times (head reservation, telemetry) without re-sorting.
         Callers must not mutate the returned list.
         """
         if self._ends_cache is None:
@@ -233,5 +308,5 @@ class NodePool:
 
     def utilization_now(self) -> float:
         """Fraction of non-down nodes currently busy."""
-        denom = self.n_total - self.n_down
+        denom = self.n_total - self._n_down
         return self.n_busy / denom if denom else 0.0

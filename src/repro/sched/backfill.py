@@ -130,16 +130,30 @@ class BackfillScheduler:
                     extra_nodes -= job.n_nodes
         return decisions
 
-    @staticmethod
-    def _reservation(head: Job, pool: NodePool, now: float) -> tuple[float, int]:
+    def _reservation(self, head: Job, pool: NodePool, now: float) -> tuple[float, int]:
         """``(shadow_time, extra_nodes)`` for the blocked head job.
 
-        Walk running jobs by believed end; the shadow time is when
-        cumulative releases make the head fit.  ``extra_nodes`` is how
-        many nodes beyond the head's need are free at that instant.
+        Walk running jobs by believed end (each at its *current*,
+        post-resize width); the shadow time is when cumulative releases
+        make the head fit.  ``extra_nodes`` is how many nodes beyond the
+        head's need are free at that instant.
+
+        In malleable mode a blocked elastic head reserves at the width
+        it can actually start at — ``min_nodes``, the same need
+        :meth:`plan_resizes` contracts donors toward — not its original
+        ``n_nodes``.  Reserving the rigid width computed the shadow from
+        a start that phase 1 never waits for (it starts the head shrunk
+        as soon as ``min_nodes`` are free), so the spare budget was
+        charged at the wrong instant and systematically mis-counted.
         """
         free = pool.n_free
-        needed = head.n_nodes
+        needed = (
+            head.min_nodes if self.malleable and head.malleable else head.n_nodes
+        )
+        if free >= needed:
+            # Already startable at the reserved width (a malleable head
+            # awaiting the engine's next start pass): the shadow is now.
+            return now, free - needed
         for believed_end, n_nodes in pool.believed_ends():
             free += n_nodes
             if free >= needed:

@@ -116,13 +116,17 @@ class Simulator:
         assert callbacks is not None, "event processed twice"
         for callback in callbacks:
             callback(event)
+        # The event *was* processed — its callbacks ran — so the count,
+        # the golden trace, and the probes must all agree on that before
+        # an undefused failure propagates; raising between the count and
+        # the hooks left them disagreeing about history.
         self.events_processed += 1
-        if not event.ok and not event.defused:
-            raise t.cast(BaseException, event.value)
         for hook in self._trace_hooks:
             hook(when, _prio, _seq)
         for probe in self._probes:
             probe()
+        if not event.ok and not event.defused:
+            raise t.cast(BaseException, event.value)
 
     # -- run loop ------------------------------------------------------------
     def run(self, until: float | Event | None = None) -> t.Any:
@@ -151,22 +155,84 @@ class Simulator:
         tel = telemetry.active()
         try:
             if tel is None:
-                while True:
-                    # peek() prunes cancelled entries; inf means the heap
-                    # is drained (or holds only cancelled events).
-                    when = self.peek()
-                    if when == _INFINITY or when > deadline:
-                        break
-                    self.step()
+                self._run_cohorts(deadline)
             else:
                 self._run_instrumented(deadline, tel)
         except _StopSimulation as stop:
             return stop.value
-        if deadline is not _INFINITY:
+        # Value comparison, not identity: ``float(x)`` returns ``x``
+        # itself for an exact float, so a caller-supplied
+        # ``float("inf")`` is a *different object* from the module's
+        # ``_INFINITY`` and an ``is not`` check would set the clock to
+        # infinity here.
+        if deadline != _INFINITY:
             self._now = deadline
         if isinstance(until, Event) and not until.triggered:
             raise SimulationError("run(until=event): event heap drained before event fired")
         return None
+
+    def _run_cohorts(self, deadline: float) -> None:
+        """The :meth:`run` hot loop: same-timestamp cohort dispatch.
+
+        Equivalent to ``while peek() <= deadline: step()``, but the
+        whole run of heap entries sharing the next timestamp is popped
+        as one batch and dispatched in ``(priority, seq)`` order without
+        re-consulting the heap per event.  Three hazards keep the cohort
+        honest (each is pinned by a test in ``tests/simkit``):
+
+        * a callback may schedule a *same-time, higher-priority* event
+          that serial execution would process before the rest of the
+          cohort — every entry re-checks the heap top and the
+          unprocessed remainder is pushed back when it would lose;
+        * a callback may cancel an event later in the cohort — each
+          entry re-checks ``cancelled`` at dispatch time, mirroring the
+          heap's lazy deletion;
+        * a callback may raise (an undefused failure, or
+          ``run(until=event)`` stopping the run) — the unprocessed
+          remainder is pushed back so the heap is exactly what serial
+          ``step()`` would have left behind.
+        """
+        heap = self._heap
+        hooks = self._trace_hooks
+        probes = self._probes
+        while True:
+            # peek() prunes cancelled entries; inf means the heap is
+            # drained (or holds only cancelled events).
+            when = self.peek()
+            if when == _INFINITY or when > deadline:
+                return
+            batch = [heapq.heappop(heap)]
+            while heap and heap[0][0] == when:
+                batch.append(heapq.heappop(heap))
+            i = 0
+            n = len(batch)
+            try:
+                while i < n:
+                    entry = batch[i]
+                    event = entry[3]
+                    if event.cancelled:
+                        i += 1
+                        continue
+                    if heap and heap[0][0] == when:
+                        top = heap[0]
+                        if top[1] < entry[1] or (top[1] == entry[1] and top[2] < entry[2]):
+                            break  # preempted: remainder goes back
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    assert callbacks is not None, "event processed twice"
+                    i += 1
+                    for callback in callbacks:
+                        callback(event)
+                    self.events_processed += 1
+                    for hook in hooks:
+                        hook(when, entry[1], entry[2])
+                    for probe in probes:
+                        probe()
+                    if not event.ok and not event.defused:
+                        raise t.cast(BaseException, event.value)
+            finally:
+                for j in range(i, n):
+                    heapq.heappush(heap, batch[j])
 
     def _run_instrumented(self, deadline: float, tel: "telemetry.Telemetry") -> None:
         """The :meth:`run` loop with event-loop telemetry attached.
@@ -181,20 +247,58 @@ class Simulator:
         start_sim = self._now
         events = tel.registry.counter("sim.events")
         depth_hist = tel.registry.histogram("sim.heap.depth")
+        heap = self._heap
+        hooks = self._trace_hooks
+        probes = self._probes
         peak = 0
         try:
             while True:
-                # peek() prunes cancelled entries; inf means the heap is
-                # drained (or holds only cancelled events).
+                # Cohort dispatch, mirroring _run_cohorts — see there
+                # for the three hazards the inner checks guard against.
                 when = self.peek()
                 if when == _INFINITY or when > deadline:
                     break
-                depth = len(self._heap)
-                if depth > peak:
-                    peak = depth
-                depth_hist.observe(depth)
-                self.step()
-                events.inc()
+                batch = [heapq.heappop(heap)]
+                while heap and heap[0][0] == when:
+                    batch.append(heapq.heappop(heap))
+                i = 0
+                n = len(batch)
+                try:
+                    while i < n:
+                        entry = batch[i]
+                        event = entry[3]
+                        if event.cancelled:
+                            i += 1
+                            continue
+                        if heap and heap[0][0] == when:
+                            top = heap[0]
+                            if top[1] < entry[1] or (top[1] == entry[1] and top[2] < entry[2]):
+                                break  # preempted: remainder goes back
+                        # Depth exactly as the serial loop observes it:
+                        # the live entry plus everything behind it, with
+                        # cancelled entries *ahead* of it already pruned
+                        # (serial peek() pops those before measuring).
+                        depth = len(heap) + n - i
+                        if depth > peak:
+                            peak = depth
+                        depth_hist.observe(depth)
+                        self._now = when
+                        callbacks, event.callbacks = event.callbacks, None
+                        assert callbacks is not None, "event processed twice"
+                        i += 1
+                        for callback in callbacks:
+                            callback(event)
+                        self.events_processed += 1
+                        for hook in hooks:
+                            hook(when, entry[1], entry[2])
+                        for probe in probes:
+                            probe()
+                        events.inc()
+                        if not event.ok and not event.defused:
+                            raise t.cast(BaseException, event.value)
+                finally:
+                    for j in range(i, n):
+                        heapq.heappush(heap, batch[j])
         finally:
             tel.gauge("sim.heap.peak", peak)
             sim_advance = self._now - start_sim

@@ -15,8 +15,9 @@ representation choices that differ between a live and a replayed world):
 
 * the event heap is reported sorted with cancelled entries dropped —
   lazy deletion means their physical position is timing-dependent;
-* the pool's free set is reported sorted — its lazy min-heap mirror may
-  hold stale entries;
+* the pool's free set is reported sorted, derived from its per-node
+  state columns — the lazy min-heap lane over them may hold stale
+  entries;
 * derived memo caches (backfill reservation walk, heartbeat makespan,
   broadcast memos) are excluded: they are recomputed, not state.
 
@@ -129,8 +130,8 @@ def _job_state(job: t.Any) -> list[t.Any]:
 
 def _pool_state(pool: t.Any) -> dict[str, t.Any]:
     return {
-        "free": sorted(pool._free),
-        "down": sorted(pool._down),
+        "free": sorted(pool.free_ids()),
+        "down": sorted(pool.down_ids()),
         "running": {
             str(job_id): {
                 "nodes": list(rec.node_ids),

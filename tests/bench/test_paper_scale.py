@@ -40,12 +40,24 @@ def fake_tier(seed=0, events=1000, peak=50, wall=2.0):
 
 class TestScenarios:
     def test_tiers_cover_paper_sizes(self):
-        assert {s.n_nodes for s in PAPER_SCALE.values()} == {1024, 4096, 16_384}
-        for scenario in PAPER_SCALE.values():
-            assert scenario.rm == "eslurm"
-            assert scenario.failures
-            assert scenario.n_jobs == 10_000
-            assert scenario.horizon_s == 86_400.0
+        from repro.bench.scenarios import PAPER_TIER_SIZES
+
+        assert PAPER_TIER_SIZES == (1024, 4096, 16_384, 65_536, 131_072)
+        assert {s.n_nodes for s in PAPER_SCALE.values()} == set(PAPER_TIER_SIZES)
+        for n_nodes in PAPER_TIER_SIZES:
+            tier = PAPER_SCALE[f"paper-{n_nodes}"]
+            assert tier.rm == "eslurm"
+            assert tier.failures
+            assert tier.n_jobs == 10_000
+            assert tier.horizon_s == 86_400.0
+
+    def test_65536_smoke_is_small_step(self):
+        """CI's 65K smoke builds the full machine over a short horizon."""
+        smoke = PAPER_SCALE["paper-65536-smoke"]
+        full = PAPER_SCALE["paper-65536"]
+        assert smoke.n_nodes == full.n_nodes == 65_536
+        assert smoke.horizon_s < full.horizon_s
+        assert smoke.n_jobs < full.n_jobs
 
     def test_reachable_via_get_scenario(self):
         assert get_scenario(PAPER_SMOKE_SCENARIO).n_nodes == 1024
@@ -71,6 +83,15 @@ class TestCompareTier:
         c = compare_tier(fake_tier(events=1000), fake_result(events=1001))
         assert not c.ok
         assert any("behaviour drift" in note for note in c.notes)
+
+    def test_per_tier_tolerance_overrides_default(self):
+        """A tier's own ``tolerance`` widens (or narrows) its wall fence."""
+        wide = fake_tier(wall=2.0)
+        wide["tolerance"] = 0.5
+        assert compare_tier(wide, fake_result(wall=2.9), tolerance=0.25).ok
+        narrow = fake_tier(wall=2.0)
+        narrow["tolerance"] = 0.1
+        assert not compare_tier(narrow, fake_result(wall=2.3), tolerance=0.25).ok
 
     def test_different_seed_skips_anchors(self):
         c = compare_tier(fake_tier(seed=0, events=1000), fake_result(seed=7, events=9999))
@@ -172,7 +193,16 @@ class TestBaselineFile:
         # the three paper machine sizes must all carry a wall fence.
         # (Variant tiers like paper-1024-malleable need no fence entry.)
         assert set(baseline["tiers"]) <= set(PAPER_SCALE)
-        assert {"paper-1024", "paper-4096", "paper-16384"} <= set(baseline["tiers"])
+        assert {
+            "paper-1024",
+            "paper-4096",
+            "paper-16384",
+            "paper-65536",
+            "paper-131072",
+        } <= set(baseline["tiers"])
+        # The minutes-long tiers carry their own (wider) wall fence.
+        for name in ("paper-65536", "paper-131072"):
+            assert baseline["tiers"][name]["tolerance"] > 0.25
 
 
 class TestSmokeTier:
@@ -192,6 +222,14 @@ class TestFullScale:
         result, report = profile_bench(PAPER_FULL_SCENARIO, seed=0)
         assert result.host_wall_s < 30.0
         assert "cumulative" in report
+
+    def test_65536_tier_matches_checked_in_anchors(self):
+        """The full 65K tier reproduces its recorded deterministic anchors."""
+        baseline = load_baseline("benchmarks/BENCH_paper_scale.json")
+        tier = baseline["tiers"]["paper-65536"]
+        result = run_bench("paper-65536", seed=tier["seed"])
+        assert result.payload["events"] == tier["events"]
+        assert result.payload["peak_heap_depth"] == tier["peak_heap_depth"]
 
 
 class TestCli:

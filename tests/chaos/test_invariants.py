@@ -110,13 +110,17 @@ class TestNodeConservation:
         details = list(NodeConservation().check(ctx))
         assert any("unresponsive node 5" in d for d in details)
 
-    def test_node_both_free_and_down_fires(self):
+    def test_free_while_allocated_fires(self):
         ctx = make_ctx()
         pool = ctx.rm.pool
-        pool.mark_down(3)
-        pool._free.add(3)  # corrupt the bookkeeping on purpose
+        job = Job(job_id=9, name="c", user="u", n_nodes=2, runtime_s=10.0,
+                  user_estimate_s=20.0, submit_time=0.0)
+        nodes = pool.allocate(job, now=0.0)
+        # Corrupt the bookkeeping on purpose: flip the state column back
+        # to FREE while the owner column still binds the node to the job.
+        pool._state[pool._col[nodes[0]]] = 0
         details = list(NodeConservation().check(ctx))
-        assert any("both free and down" in d for d in details)
+        assert any("free while allocated" in d for d in details)
 
     def test_double_allocation_fires(self):
         ctx = make_ctx()

@@ -233,7 +233,7 @@ class TestGrowSpareNodeBudget:
     together they encroach on the head's reservation.
     """
 
-    def _blocked_head_state(self, head_nodes):
+    def _blocked_head_state(self, head_nodes, head_min):
         # 20 nodes; a rigid job holds 10 until t=100; an elastic job
         # holds 4 and is believed to run far past any shadow time.
         pool = NodePool(range(20))
@@ -243,21 +243,21 @@ class TestGrowSpareNodeBudget:
         grower = elastic(2, 4, 2, 20, estimate=9999.0)
         pool.allocate(grower, now=0.0)
         grower.start(0.0, pool.running[2].node_ids)
-        head = elastic(3, head_nodes, 2, head_nodes)
-        # The head fits at min width but plan did not start it (that is
-        # the engine's job); plan_resizes must still respect its shadow.
+        # The head reserves at its *min* width (the width phase 1 would
+        # actually start it at), so ``head_min`` pins the spare budget.
+        head = elastic(3, head_nodes, head_min, head_nodes)
         return pool, queued(head)
 
     def test_grower_past_shadow_capped_by_extra_budget(self):
-        # Head wants 16: shadow t=100 (rigid release), extra = 0.
-        pool, q = self._blocked_head_state(16)
+        # Head's min width 6 consumes every free node: extra = 0.
+        pool, q = self._blocked_head_state(16, 6)
         decisions = BackfillScheduler(malleable=True).plan_resizes(q, pool, now=0.0)
         assert decisions == []  # no budget -> no growth
         assert len(pool.running[2].node_ids) == 4
 
     def test_grower_within_budget_takes_only_spares(self):
-        # Head wants 14: at the shadow 16 nodes free -> extra = 2.
-        pool, q = self._blocked_head_state(14)
+        # Head's min width 4 leaves 2 of the 6 free nodes spare.
+        pool, q = self._blocked_head_state(14, 4)
         decisions = BackfillScheduler(malleable=True).plan_resizes(q, pool, now=0.0)
         assert len(decisions) == 1
         assert len(decisions[0].added) == 2  # capped at extra, not n_free=6
@@ -274,7 +274,74 @@ class TestGrowSpareNodeBudget:
             g = elastic(job_id, 2, 2, 20, estimate=9999.0)
             pool.allocate(g, now=0.0)
             g.start(0.0, pool.running[job_id].node_ids)
-        q = queued(elastic(4, 14, 2, 14))  # shadow t=100, extra = 2
+        q = queued(elastic(4, 14, 4, 14))  # head min 4: extra = 6 - 4 = 2
         decisions = BackfillScheduler(malleable=True).plan_resizes(q, pool, now=0.0)
         grown = sum(len(d.added) for d in decisions)
         assert grown == 2  # one budget, not one per grower
+
+
+class TestMalleableHeadReservation:
+    """Regression: the EASY shadow walk reserves a malleable head at the
+    width it can actually start at.
+
+    Phase 1 starts a blocked elastic head *shrunk* as soon as
+    ``min_nodes`` are free, so a reservation computed from its original
+    ``n_nodes`` models a start that never happens: the shadow lands too
+    late and the spare budget is charged at the wrong instant
+    (the ROADMAP's rigid-width bug).
+    """
+
+    def _machine(self):
+        # 20 nodes; a rigid job holds 10 until t=100; an elastic job
+        # holds 4 forever; 6 free.
+        pool = NodePool(range(20))
+        rigid = make_job(1, 10, estimate=100.0)
+        pool.allocate(rigid, now=0.0)
+        rigid.start(0.0, pool.running[1].node_ids)
+        grower = elastic(2, 4, 2, 20, estimate=9999.0)
+        pool.allocate(grower, now=0.0)
+        grower.start(0.0, pool.running[2].node_ids)
+        return pool
+
+    def test_reservation_uses_min_width_for_malleable_head(self):
+        pool = self._machine()
+        head = elastic(3, 16, 8, 16)  # blocked even at min (8 > 6 free)
+        sched = BackfillScheduler(malleable=True)
+        shadow, extra = sched._reservation(head, pool, now=0.0)
+        # min width 8 is satisfied at the rigid release (6 + 10 = 16
+        # free): 8 spare nodes, not the 0 the rigid width 16 implied.
+        assert shadow == 100.0
+        assert extra == 8
+
+    def test_rigid_mode_reservation_unchanged(self):
+        pool = self._machine()
+        head = elastic(3, 16, 8, 16)
+        shadow, extra = BackfillScheduler()._reservation(head, pool, now=0.0)
+        assert shadow == 100.0
+        assert extra == 0  # malleable off: the head's full width reserves
+
+    def test_head_startable_at_min_shadow_is_now(self):
+        pool = self._machine()
+        head = elastic(3, 16, 2, 16)  # fits shrunk right now (2 <= 6)
+        sched = BackfillScheduler(malleable=True)
+        shadow, extra = sched._reservation(head, pool, now=5.0)
+        assert shadow == 5.0
+        assert extra == 4
+
+    def test_backfill_uses_min_width_spare_budget(self):
+        # A 6-node candidate with a kill limit far past the shadow can
+        # only start on the *spare* budget.  At the head's min width the
+        # budget is 8 >= 6 -> it backfills; the rigid width said 0.
+        pool = self._machine()
+        head = elastic(3, 16, 8, 16)
+        filler = make_job(4, 6, runtime=5000.0, estimate=5000.0)
+        q = queued(head, filler)
+        decisions = BackfillScheduler(malleable=True).plan(q, pool, now=0.0)
+        assert [job.job_id for job, _ in decisions] == [4]
+
+    def test_rigid_mode_denies_that_backfill(self):
+        pool = self._machine()
+        head = elastic(3, 16, 8, 16)
+        filler = make_job(4, 6, runtime=5000.0, estimate=5000.0)
+        q = queued(head, filler)
+        assert BackfillScheduler().plan(q, pool, now=0.0) == []

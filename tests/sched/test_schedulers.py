@@ -210,7 +210,7 @@ class TestReservationEdgeCases:
     def test_unsatisfiable_head_yields_infinite_shadow(self):
         pool = NodePool(range(10))
         head = make_job(1, 50)  # larger than the whole machine
-        shadow, extra = BackfillScheduler._reservation(head, pool, now=0.0)
+        shadow, extra = BackfillScheduler()._reservation(head, pool, now=0.0)
         assert shadow == float("inf")
         assert extra == 0
 
@@ -219,7 +219,7 @@ class TestReservationEdgeCases:
         for nid in range(4):
             pool.mark_down(nid)
         head = make_job(1, 8)  # only 6 serviceable nodes remain
-        shadow, extra = BackfillScheduler._reservation(head, pool, now=0.0)
+        shadow, extra = BackfillScheduler()._reservation(head, pool, now=0.0)
         assert shadow == float("inf")
         assert extra == 0
 
@@ -230,7 +230,7 @@ class TestReservationEdgeCases:
         pool.allocate(a, now=0.0)
         pool.allocate(b, now=0.0)
         head = make_job(2, 10)  # needs every node; free only after b
-        shadow, extra = BackfillScheduler._reservation(head, pool, now=0.0)
+        shadow, extra = BackfillScheduler()._reservation(head, pool, now=0.0)
         assert shadow == 100.0
         assert extra == 0
 
@@ -239,7 +239,7 @@ class TestReservationEdgeCases:
         running = make_job(0, 4, estimate=100.0)
         pool.allocate(running, now=0.0)
         head = make_job(1, 2)
-        shadow, extra = BackfillScheduler._reservation(head, pool, now=0.0)
+        shadow, extra = BackfillScheduler()._reservation(head, pool, now=0.0)
         assert shadow == 100.0
         assert extra == 2
 
@@ -253,6 +253,6 @@ class TestReservationEdgeCases:
     def test_empty_pool(self):
         pool = NodePool([])
         head = make_job(1, 1)
-        shadow, extra = BackfillScheduler._reservation(head, pool, now=0.0)
+        shadow, extra = BackfillScheduler()._reservation(head, pool, now=0.0)
         assert shadow == float("inf")
         assert extra == 0

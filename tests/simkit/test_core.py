@@ -129,3 +129,143 @@ def test_unhandled_failed_event_raises_at_step():
     ev.fail(RuntimeError("boom"))
     with pytest.raises(RuntimeError, match="boom"):
         sim.run()
+
+
+class TestRunUntilInfinity:
+    """Regression: ``run(until=float("inf"))`` must not teleport the clock.
+
+    ``float(x)`` returns ``x`` itself for an exact float, so a
+    caller-supplied ``float("inf")`` is a *different object* from the
+    module-level infinity sentinel; the old identity comparison treated
+    it as a finite deadline and set the clock to infinity after the
+    heap drained.
+    """
+
+    def test_caller_supplied_inf_leaves_clock_at_last_event(self):
+        sim = Simulator()
+        sim.process(iter_timeouts(sim, [5.0]))
+        sim.run(until=float("inf"))
+        assert sim.now == 5.0
+
+    def test_caller_supplied_inf_on_empty_heap_keeps_clock(self):
+        sim = Simulator(start_time=3.0)
+        sim.run(until=float("inf"))
+        assert sim.now == 3.0
+
+    def test_finite_deadline_still_advances_clock_exactly(self):
+        sim = Simulator()
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+
+
+class TestFailedEventAccounting:
+    """A failed, undefused event *was* processed: the counter, the golden
+    trace, and the probes must all record it before the failure raises."""
+
+    def _instrumented(self):
+        sim = Simulator()
+        trace, probed = [], []
+        sim.add_trace_hook(lambda when, prio, seq: trace.append((when, prio, seq)))
+        sim.add_probe(lambda: probed.append(sim.events_processed))
+        return sim, trace, probed
+
+    def test_run_counts_and_traces_the_failing_event(self):
+        sim, trace, probed = self._instrumented()
+        sim.event().fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        assert sim.events_processed == 1
+        assert len(trace) == 1
+        assert probed == [1]  # the probe saw the already-updated count
+
+    def test_step_counts_and_traces_the_failing_event(self):
+        sim, trace, probed = self._instrumented()
+        sim.event().fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.step()
+        assert sim.events_processed == 1
+        assert len(trace) == 1
+        assert probed == [1]
+
+
+class TestCohortDispatch:
+    """Same-timestamp cohort dispatch must be invisible next to serial
+    ``step()`` — these pin the three hazards ``_run_cohorts`` guards."""
+
+    def test_same_time_urgent_preempts_rest_of_cohort(self):
+        sim = Simulator()
+        order = []
+        first = sim.timeout(1.0)
+        second = sim.timeout(1.0)
+
+        def first_cb(_ev):
+            order.append("first")
+            sim.call_at(1.0, lambda: order.append("urgent"))
+
+        first.callbacks.append(first_cb)
+        second.callbacks.append(lambda _ev: order.append("second"))
+        sim.run()
+        # Serial order: the urgent event outranks `second` at the same
+        # timestamp, so it must run between the two cohort members.
+        assert order == ["first", "urgent", "second"]
+
+    def test_callback_cancels_later_cohort_member(self):
+        sim = Simulator()
+        order = []
+        first = sim.timeout(1.0)
+        second = sim.timeout(1.0)
+        third = sim.timeout(1.0)
+        first.callbacks.append(lambda _ev: second.cancel())
+        second.callbacks.append(lambda _ev: order.append("second"))
+        third.callbacks.append(lambda _ev: order.append("third"))
+        sim.run()
+        assert order == ["third"]
+        assert sim.events_processed == 2  # the cancelled one never counts
+
+    def test_until_event_mid_cohort_pushes_remainder_back(self):
+        sim = Simulator()
+        order = []
+        first = sim.timeout(1.0, value="stop-here")
+        second = sim.timeout(1.0)
+        second.callbacks.append(lambda _ev: order.append("second"))
+        assert sim.run(until=first) == "stop-here"
+        # The unprocessed cohort remainder is back on the heap, exactly
+        # as serial step() would have left it.
+        assert order == []
+        assert sim.peek() == 1.0
+        sim.run()
+        assert order == ["second"]
+
+    def test_undefused_failure_mid_cohort_preserves_remainder(self):
+        sim = Simulator()
+        seen = []
+        sim.event().fail(RuntimeError("boom"))
+        survivor = sim.timeout(0.0)
+        survivor.callbacks.append(lambda _ev: seen.append(sim.now))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        assert sim.events_processed == 1
+        assert seen == []
+        sim.run()  # resumable: the survivor still fires
+        assert seen == [0.0]
+        assert sim.events_processed == 2
+
+    def test_trace_matches_serial_step_on_colliding_timestamps(self):
+        def build(seed):
+            sim = Simulator(seed=seed)
+            delays = sim.rng.stream("t").integers(0, 5, size=40)
+            for d in delays:
+                sim.timeout(float(d))
+            return sim
+
+        serial, trace_serial = build(1), []
+        serial.add_trace_hook(lambda *entry: trace_serial.append(entry))
+        while serial.peek() != float("inf"):
+            serial.step()
+
+        cohort, trace_cohort = build(1), []
+        cohort.add_trace_hook(lambda *entry: trace_cohort.append(entry))
+        cohort.run()
+
+        assert trace_serial == trace_cohort
+        assert serial.events_processed == cohort.events_processed

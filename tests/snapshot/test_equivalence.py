@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api import SimulationConfig
+from repro.snapshot import SimWorld
 from tests.snapshot.helpers import cold_split_run, straight_run, warm_split_run
 
 SEEDS = (0, 1, 2, 3, 4)
@@ -74,3 +75,40 @@ class TestSplitEquivalence:
         _, n_events = straight(rm, seed)
         for k in sorted({0, n_events // 3, n_events // 2, n_events}):
             assert_split_equivalent(rm, seed, k)
+
+
+@lru_cache(maxsize=None)
+def cohort_cuts(rm, seed):
+    """Boundaries that land *inside* a same-timestamp cohort.
+
+    A cut ``k`` is mid-cohort when events ``k-1`` and ``k`` share a
+    timestamp: the replay half pauses with the rest of the cohort still
+    on the heap, and the resumed run's batched kernel must pick the
+    remainder up exactly where serial ``step()`` left it.
+    """
+    world = SimWorld(make_config(rm, seed))
+    times = []
+    world.sim.add_trace_hook(lambda when, prio, seq: times.append(when))
+    world.run_to_horizon()
+    return tuple(k for k in range(1, len(times)) if times[k] == times[k - 1])
+
+
+class TestMidCohortBoundaries:
+    @pytest.mark.parametrize("rm", RMS)
+    def test_fixed_cuts_inside_cohorts(self, rm):
+        seed = SEEDS[0]
+        cuts = cohort_cuts(rm, seed)
+        assert cuts, "scenario must contain same-timestamp cohorts"
+        for k in sorted({cuts[0], cuts[len(cuts) // 2], cuts[-1]}):
+            assert_split_equivalent(rm, seed, k)
+
+    @pytest.mark.parametrize("rm", RMS)
+    @given(data=st.data())
+    @settings(max_examples=6, deadline=None)
+    def test_random_cut_inside_a_cohort(self, rm, data):
+        seed = data.draw(st.sampled_from(SEEDS))
+        cuts = cohort_cuts(rm, seed)
+        if not cuts:
+            return
+        k = data.draw(st.sampled_from(cuts))
+        assert_split_equivalent(rm, seed, k)
