@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale bench-100k-smoke verify-smoke sweep-smoke malleable-smoke serve-smoke snapshot-smoke lint-imports
+.PHONY: test test-fast test-slow test-chaos chaos-smoke test-bench bench-smoke bench-paper-scale bench-16k-fast bench-100k-smoke lifecycle-smoke verify-smoke sweep-smoke malleable-smoke serve-smoke snapshot-smoke lint-imports
 
 ## Full tier-1 suite (the CI gate).
 test:
@@ -54,6 +54,21 @@ bench-smoke:
 ## ``repro bench compare`` with no --names.
 bench-paper-scale:
 	$(PYTHON) -m repro.cli bench compare benchmarks/BENCH_paper_scale.json --names paper-1024
+
+## 16K-node perf fence: re-run the paper's full machine size (16,384
+## nodes, 10K jobs, failures on) against the checked-in baseline —
+## the tier the flattened-lifecycle kernel is judged on.  Deterministic
+## anchors must match exactly; wall may not regress beyond +25%.
+bench-16k-fast:
+	$(PYTHON) -m repro.cli bench compare benchmarks/BENCH_paper_scale.json --names paper-16384
+
+## Lifecycle-kernel smoke: the FSM fast path must be observably
+## indistinguishable from the generator reference — unit tests for the
+## timer lane and the FSM walk, the full equivalence scenario matrix,
+## then the oracle relation across a -j 2 seed sweep.
+lifecycle-smoke:
+	$(PYTHON) -m pytest -q tests/simkit/test_timer.py tests/rm/test_lifecycle.py tests/rm/test_lifecycle_equivalence.py
+	$(PYTHON) -m repro.cli verify --relation lifecycle-equivalence --seeds 2 -j 2
 
 ## 100K-node perf smoke: re-run the 65,536-node small-step tier (the
 ## full machine over the 4 h matrix horizon) against the checked-in

@@ -114,43 +114,56 @@ class FailureInjector:
         for fn in self._listeners:
             fn(kind, node_ids, self.sim.now)
 
-    # -- processes -------------------------------------------------------
+    # -- timers ----------------------------------------------------------
     def start(self) -> None:
-        """Spawn the point-failure and burst processes (idempotent)."""
+        """Arm the point-failure and burst timers (idempotent).
+
+        Each loop is one re-armed :class:`~repro.simkit.events.Timer`
+        whose handler runs the body first and draws the next interval
+        afterwards — the same per-stream draw order as the generator
+        loops these replaced (which drew before each ``yield``).
+        """
         if self._started or not self.model.enabled:
             return
         self._started = True
-        self.sim.process(self._point_failure_loop(), name="failures.point")
+        self._start_point_timer()
         if self.model.burst_per_day > 0:
-            self.sim.process(self._burst_loop(), name="failures.burst")
+            self._start_burst_timer()
 
-    def _point_failure_loop(self) -> t.Generator:
+    def _start_point_timer(self) -> None:
         """Aggregate Poisson process over all nodes (rate n / MTBF)."""
         rng = self.sim.rng.stream("failures.point")
         n = self.cluster.n_nodes
         rate_per_s = n / (self.model.mtbf_node_hours * HOUR)
-        while True:
-            yield self.sim.timeout(rng.exponential(1.0 / rate_per_s))
-            node = self.cluster.nodes[int(rng.integers(n))]
-            if not node.responsive:  # already down: skip this draw
-                continue
-            lead = rng.exponential(self.model.lead_time_s)
-            repair = rng.exponential(self.model.repair_hours * HOUR)
-            self._schedule_failure("point", [node.node_id], lead, repair)
 
-    def _burst_loop(self) -> t.Generator:
+        def fire() -> None:
+            node = self.cluster.nodes[int(rng.integers(n))]
+            if node.responsive:  # already down: skip this draw
+                lead = rng.exponential(self.model.lead_time_s)
+                repair = rng.exponential(self.model.repair_hours * HOUR)
+                self._schedule_failure("point", [node.node_id], lead, repair)
+            timer.arm(rng.exponential(1.0 / rate_per_s))
+
+        timer = self.sim.timer(fire, label="failures.point")
+        timer.arm(rng.exponential(1.0 / rate_per_s))
+
+    def _start_burst_timer(self) -> None:
         """Correlated failures of a contiguous block of nodes."""
         rng = self.sim.rng.stream("failures.burst")
         n = self.cluster.n_nodes
         rate_per_s = self.model.burst_per_day / DAY
-        while True:
-            yield self.sim.timeout(rng.exponential(1.0 / rate_per_s))
+
+        def fire() -> None:
             size = max(2, int(rng.poisson(self.model.burst_size_mean)))
             start = int(rng.integers(max(1, n - size)))
             ids = [i for i in range(start, min(start + size, n))]
             lead = rng.exponential(self.model.lead_time_s)
             repair = rng.exponential(self.model.repair_hours * HOUR)
             self._schedule_failure("burst", ids, lead, repair)
+            timer.arm(rng.exponential(1.0 / rate_per_s))
+
+        timer = self.sim.timer(fire, label="failures.burst")
+        timer.arm(rng.exponential(1.0 / rate_per_s))
 
     def _schedule_failure(
         self, kind: str, node_ids: list[int], lead: float, repair: float

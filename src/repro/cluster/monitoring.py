@@ -132,19 +132,26 @@ class HealthMonitor:
 
     # -- background false alarms -------------------------------------------
     def start(self) -> None:
-        """Spawn the false-alarm process (idempotent)."""
+        """Arm the false-alarm timer (idempotent).
+
+        One re-armed :class:`~repro.simkit.events.Timer` replaces the
+        historical generator loop; the handler raises the alert first and
+        draws the next interval afterwards, preserving the ``monitoring``
+        stream's draw order.
+        """
         if self._started or self.config.false_alarm_per_node_hour == 0:
             return
         self._started = True
-        self.sim.process(self._false_alarm_loop(), name="monitoring.false_alarms")
-
-    def _false_alarm_loop(self) -> t.Generator:
         n = self.cluster.n_nodes
         rate_per_s = n * self.config.false_alarm_per_node_hour / HOUR
-        while True:
-            yield self.sim.timeout(self._rng.exponential(1.0 / rate_per_s))
+
+        def fire() -> None:
             node_id = int(self._rng.integers(n))
             self.raise_alert(node_id, spurious=True)
+            timer.arm(self._rng.exponential(1.0 / rate_per_s))
+
+        timer = self.sim.timer(fire, label="monitoring.false_alarms")
+        timer.arm(self._rng.exponential(1.0 / rate_per_s))
 
     # -- predictor interface ---------------------------------------------
     def predicted_failed(self, among: t.Iterable[int] | None = None) -> set[int]:

@@ -45,13 +45,27 @@ _WEIGHTS = np.concatenate(
 _TWO_PI = 2.0 * math.pi
 
 
+#: signature cache: names/users recur constantly (the paper's 89.2 %
+#: repeat rate) and the signatures are pure functions of the string.
+_HASH_CACHE: dict[tuple[str, int], np.ndarray] = {}
+_HASH_CACHE_MAX = 4096
+
+
 def _signed_hash_vector(text: str, dims: int) -> np.ndarray:
     """Deterministic ±1 signature of a string (salted stable hashes)."""
+    key = (text, dims)
+    cached = _HASH_CACHE.get(key)
+    if cached is not None:
+        return cached
     data = text.encode("utf-8")
     bits = np.empty(dims)
     for i in range(dims):
         h = zlib.crc32(data, i + 1)
         bits[i] = 1.0 if h & 1 else -1.0
+    bits.setflags(write=False)  # shared across callers via the cache
+    if len(_HASH_CACHE) >= _HASH_CACHE_MAX:
+        _HASH_CACHE.clear()
+    _HASH_CACHE[key] = bits
     return bits
 
 

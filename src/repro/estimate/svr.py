@@ -22,12 +22,12 @@ from scipy.optimize import minimize
 from repro.errors import EstimationError
 
 
-def _rbf(X: np.ndarray, Y: np.ndarray, gamma: float) -> np.ndarray:
-    d = (
-        (X * X).sum(axis=1)[:, None]
-        - 2.0 * X @ Y.T
-        + (Y * Y).sum(axis=1)[None, :]
-    )
+def _rbf(
+    X: np.ndarray, Y: np.ndarray, gamma: float, y_sq: np.ndarray | None = None
+) -> np.ndarray:
+    if y_sq is None:
+        y_sq = (Y * Y).sum(axis=1)[None, :]
+    d = (X * X).sum(axis=1)[:, None] - 2.0 * X @ Y.T + y_sq
     return np.exp(-gamma * np.maximum(d, 0.0))
 
 
@@ -63,18 +63,21 @@ class SVR:
         self.bias_term = bias_term
         self.max_iter = max_iter
         self._X: np.ndarray | None = None
+        self._X_sq: np.ndarray | None = None
         self._beta: np.ndarray | None = None
         self._gamma_eff: float = 1.0
         self._y_mean: float = 0.0
 
     # -- kernels ---------------------------------------------------------
-    def _kernel(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    def _kernel(
+        self, X: np.ndarray, Y: np.ndarray, y_sq: np.ndarray | None = None
+    ) -> np.ndarray:
         if self.kernel == "rbf":
-            K = _rbf(X, Y, self._gamma_eff)
+            K = _rbf(X, Y, self._gamma_eff, y_sq)
         elif self.kernel == "linear":
             K = X @ Y.T / max(X.shape[1], 1)
         else:  # rbf+linear: local memory plus global (scaling) trends
-            K = _rbf(X, Y, self._gamma_eff) + 0.3 * (X @ Y.T) / max(X.shape[1], 1)
+            K = _rbf(X, Y, self._gamma_eff, y_sq) + 0.3 * (X @ Y.T) / max(X.shape[1], 1)
         return K + self.bias_term
 
     # -- fit ------------------------------------------------------------
@@ -119,6 +122,9 @@ class SVR:
         theta = res.x
         self._beta = theta[:n] - theta[n:]
         self._X = X
+        # Support-vector row norms, reused by every prediction — the
+        # submit-path predict_one is the estimator's hot loop.
+        self._X_sq = (X * X).sum(axis=1)[None, :]
         return self
 
     @property
@@ -137,7 +143,7 @@ class SVR:
         if self._beta is None or self._X is None:
             raise EstimationError("SVR not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        return self._kernel(X, self._X) @ self._beta + self._y_mean
+        return self._kernel(X, self._X, self._X_sq) @ self._beta + self._y_mean
 
     def predict_one(self, x: np.ndarray) -> float:
         return float(self.predict(x[None, :])[0])

@@ -120,6 +120,16 @@ class FPTreeConstructor:
         if not targets:
             return []
         predicted = self.predictor.predict(targets)
+        if not predicted and not self.construct_observers:
+            # Nothing to rearrange and nobody auditing: the output is
+            # the input (rearrange's documented identity).  Skip the
+            # leaf walk and memo bookkeeping — steady-state broadcasts
+            # with no live alerts are the overwhelmingly common case,
+            # and keeping them out of the memo leaves its 64 slots to
+            # the orderings that were actually worth caching.
+            ordered = list(targets)
+            self._record(ordered, predicted, 0)
+            return ordered
         key = (tuple(targets), frozenset(predicted))
         entry = self._memo.get(key)
         if entry is not None:
@@ -212,3 +222,30 @@ class FPTreeBroadcast(BroadcastStructure):
             n_timeouts=result.n_timeouts,
             arrivals=result.arrivals,
         )
+
+    def simulate_forest(
+        self,
+        tasks: t.Sequence[tuple[int, t.Sequence[int]]],
+        size_bytes: int,
+        fabric: "NetworkFabric",
+    ) -> list[BroadcastResult]:
+        """FP-construct every part, then batch-evaluate the forest.
+
+        Construction stays per tree (stats, memo, and audit observers
+        are per nodelist); only the tree evaluation is shared.
+        """
+        ordered_tasks = [
+            (root, self.constructor.construct(root, targets)) for root, targets in tasks
+        ]
+        results = self._engine.simulate_forest(ordered_tasks, size_bytes, fabric)
+        return [
+            BroadcastResult(
+                structure=self.name,
+                makespan_s=r.makespan_s,
+                n_targets=r.n_targets,
+                failed=r.failed,
+                n_timeouts=r.n_timeouts,
+                arrivals=r.arrivals,
+            )
+            for r in results
+        ]

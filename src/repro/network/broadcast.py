@@ -70,6 +70,20 @@ class BroadcastStructure:
         """Evaluate one broadcast; see :class:`BroadcastResult`."""
         raise NotImplementedError
 
+    def simulate_forest(
+        self,
+        tasks: t.Sequence[tuple[int, t.Sequence[int]]],
+        size_bytes: int,
+        fabric: "NetworkFabric",
+    ) -> list[BroadcastResult]:
+        """Evaluate many ``(root, targets)`` broadcasts over one fabric.
+
+        Engines that can batch (the tree engine's multi-root level
+        sweep) override this; the default is plain sequential
+        evaluation, so every engine accepts forest calls.
+        """
+        return [self.simulate(root, targets, size_bytes, fabric) for root, targets in tasks]
+
     @staticmethod
     def _validate(targets: t.Sequence[int], size_bytes: int) -> None:
         if size_bytes <= 0:
@@ -138,6 +152,47 @@ class MemoizedBroadcast(BroadcastStructure):
         while len(self._cache) > self.maxsize:
             self._cache.popitem(last=False)
         return self._copy(result)
+
+    def simulate_forest(
+        self,
+        tasks: t.Sequence[tuple[int, t.Sequence[int]]],
+        size_bytes: int,
+        fabric: "NetworkFabric",
+    ) -> list[BroadcastResult]:
+        """Forest evaluation memoized as one unit.
+
+        A forest entry is keyed on every tree's (root, targets) plus
+        size and liveness version, with a single telemetry delta for the
+        whole batch — the relay/heartbeat call sites re-evaluate all
+        their parts together, so per-tree granularity would buy nothing.
+        """
+        if fabric.config.jitter_frac:
+            return self.inner.simulate_forest(tasks, size_bytes, fabric)
+        if fabric is not self._fabric:
+            self._cache.clear()
+            self._fabric = fabric
+        tel = telemetry.active()
+        key = (
+            "forest",
+            tuple((root, tuple(targets)) for root, targets in tasks),
+            size_bytes,
+            fabric.cluster.version,
+        )
+        entry = self._cache.get(key)
+        if entry is not None and not (tel is not None and entry[1] is None):
+            self._cache.move_to_end(key)
+            self.hits += 1
+            results, delta = entry
+            if tel is not None and delta is not None:
+                tel.registry.merge(delta)
+            return [self._copy(r) for r in results]
+        self.misses += 1
+        with telemetry.capture_delta() as delta:
+            results = self.inner.simulate_forest(tasks, size_bytes, fabric)
+        self._cache[key] = (results, delta)
+        while len(self._cache) > self.maxsize:
+            self._cache.popitem(last=False)
+        return [self._copy(r) for r in results]
 
     @staticmethod
     def _copy(result: BroadcastResult) -> BroadcastResult:

@@ -93,6 +93,8 @@ class NetworkFabric:
         self.cluster = cluster
         self.config = config or FabricConfig()
         self._rng = sim.rng.stream("fabric")
+        #: hop-latency table as an array, for the vectorised fancy-index
+        self._hop_lat = np.asarray(self.config.hop_latency_s)
         #: (cluster.version, frozenset of unresponsive ids) — see
         #: :meth:`unreachable_ids`
         self._unreachable_cache: tuple[int, frozenset[int]] | None = None
@@ -172,7 +174,7 @@ class NetworkFabric:
         hop[dst_chassis == src_chassis] = int(HopLevel.SAME_CHASSIS)
         hop[dst_board == src_board] = int(HopLevel.SAME_BOARD)
         hop[dst_c == src_c] = int(HopLevel.SAME_NODE)
-        lat = np.asarray(cfg.hop_latency_s)[hop]
+        lat = self._hop_lat[hop]
         delays = cfg.send_overhead_s + lat + size_bytes / cfg.bytes_per_second
         if cfg.jitter_frac:
             delays = delays * (1.0 + cfg.jitter_frac * (2.0 * self._rng.random(delays.shape) - 1.0))
@@ -211,7 +213,7 @@ class NetworkFabric:
             HopLevel.SAME_BOARD
         )
         hop[dst_c == src_c] = int(HopLevel.SAME_NODE)
-        lat = np.asarray(cfg.hop_latency_s)[hop]
+        lat = self._hop_lat[hop]
         delays = cfg.send_overhead_s + lat + size_bytes / cfg.bytes_per_second
         if cfg.jitter_frac:
             delays = delays * (1.0 + cfg.jitter_frac * (2.0 * self._rng.random(delays.shape) - 1.0))

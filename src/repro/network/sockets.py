@@ -5,10 +5,24 @@ by the master (and satellite) daemons.  The tracker is a plain counter
 with a time series behind it so experiments can report instantaneous,
 mean, and peak connection counts exactly like the paper's once-a-second
 sampling.
+
+Pulse closes are *lazy*: :meth:`pulse` does not schedule a simulator
+event per close (the RM's periodic traffic would otherwise put tens of
+thousands of close events on the heap per simulated day).  Instead the
+close is pushed onto a min-heap of ``(close_time, seq, count)`` and
+applied — with its original timestamp, in close-time order — the next
+time the tracker is touched.  Every public read or write drains the
+heap up to the current simulated time first, so observable state is
+indistinguishable from eagerly-scheduled closes: series entries carry
+the true close instants, ties between closes apply in pulse order
+(exactly the event-sequence order the eager version used), and closes
+beyond the simulation horizon are never applied (their events would
+never have fired).
 """
 
 from __future__ import annotations
 
+import heapq
 import typing as t
 
 from repro.errors import NetworkError
@@ -24,42 +38,68 @@ class ConnectionTracker:
     def __init__(self, sim: "Simulator", owner: str = "") -> None:
         self.sim = sim
         self.owner = owner
-        self.current = 0
+        self._current = 0
         self.series = TimeSeries(f"{owner}.sockets")
         self.total_opened = 0
+        #: pending pulse closes: (close_time, pulse_seq, count)
+        self._pending: list[tuple[float, int, int]] = []
+        self._pulse_seq = 0
+
+    @property
+    def current(self) -> int:
+        """Connections open *now* (applies any due pulse closes first)."""
+        self._drain(self.sim.now)
+        return self._current
+
+    def _drain(self, now: float) -> None:
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            close_at, _, count = heapq.heappop(pending)
+            self._current -= count
+            self.series.record(close_at, self._current)
+
+    def sync(self) -> None:
+        """Apply every pulse close due by now (snapshot/report hook)."""
+        self._drain(self.sim.now)
 
     def open(self, count: int = 1) -> None:
         """Open ``count`` connections."""
         if count < 0:
             raise NetworkError("cannot open a negative number of connections")
-        self.current += count
+        self._drain(self.sim.now)
+        self._current += count
         self.total_opened += count
-        self.series.record(self.sim.now, self.current)
+        self.series.record(self.sim.now, self._current)
 
     def close(self, count: int = 1) -> None:
         """Close ``count`` connections."""
         if count < 0:
             raise NetworkError("cannot close a negative number of connections")
-        if count > self.current:
+        self._drain(self.sim.now)
+        if count > self._current:
             raise NetworkError(
-                f"{self.owner}: closing {count} connections but only {self.current} open"
+                f"{self.owner}: closing {count} connections but only {self._current} open"
             )
-        self.current -= count
-        self.series.record(self.sim.now, self.current)
+        self._current -= count
+        self.series.record(self.sim.now, self._current)
 
     def pulse(self, count: int, hold_s: float) -> None:
         """Open ``count`` connections now and close them after ``hold_s``.
 
         The common pattern for request/response traffic: the connection
-        count spikes for the duration of the exchange.
+        count spikes for the duration of the exchange.  The close costs
+        no simulator event — see the module docstring.
         """
         self.open(count)
-        self.sim.call_at(self.sim.now + hold_s, lambda: self.close(count))
+        self._pulse_seq += 1
+        heapq.heappush(self._pending, (self.sim.now + hold_s, self._pulse_seq, count))
 
     # -- statistics ------------------------------------------------------
     def peak(self) -> float:
+        self._drain(self.sim.now)
         return self.series.max()
 
     def mean(self) -> float:
         """Time-weighted average concurrent connections."""
+        self._drain(self.sim.now)
         return self.series.time_average(until=self.sim.now) if len(self.series) else 0.0

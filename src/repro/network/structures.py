@@ -144,7 +144,9 @@ class _TreeWalk:
     Holds the recursive (scalar) walk the engine always used; the
     vectorised fast path of :class:`TreeBroadcast` delegates the rare
     dead subtrees back to these exact methods so both paths produce
-    bit-identical results.
+    bit-identical results.  Forest evaluation
+    (:meth:`TreeBroadcast.simulate_forest`) runs one combined level
+    sweep over many walks and hands each walk its per-tree totals.
     """
 
     __slots__ = (
@@ -314,6 +316,107 @@ class _TreeWalk:
             self.takeover(p_lo, p_hi, parent_id, initiated_s + self.penalty, p_level)
 
 
+def _run_forest(walks: list[_TreeWalk], per_target_root_s: float) -> None:
+    """One level-order sweep over many independent trees at once.
+
+    The arithmetic per tree is exactly :meth:`_TreeWalk.run_vectorized`
+    — the trees merely share each level's numpy dispatches.  Children
+    are generated parent-major and parents stay tree-major, so every
+    level's arrays are contiguous per tree; per-tree makespans fall out
+    of slice maxima and dead children become per-tree scalar patches,
+    replayed in ascending position order (= DFS preorder) like the
+    single-tree fast path does.
+    """
+    fabric = walks[0].fabric
+    overhead = walks[0].overhead
+    width = walks[0].width
+    size_bytes = walks[0].size_bytes
+    tel = walks[0].tel
+    n_trees = len(walks)
+    offsets = np.zeros(n_trees, dtype=np.int64)
+    all_nodes: list[int] = []
+    for i, walk in enumerate(walks):
+        offsets[i] = len(all_nodes)
+        all_nodes.extend(walk.nodelist)
+    arr = np.asarray(all_nodes, dtype=np.int64)
+    down = fabric.unreachable_ids()
+    down_arr = np.fromiter(down, dtype=np.int64, count=len(down)) if down else None
+    patches: list[tuple[int, int, int, int, float, int]] = []
+    plo = offsets.copy()
+    phi = offsets + np.array([len(w.nodelist) for w in walks], dtype=np.int64)
+    pid = arr[plo]
+    pready = np.array(
+        [per_target_root_s * (len(w.nodelist) - 1) for w in walks], dtype=np.float64
+    )
+    tid = np.arange(n_trees, dtype=np.int64)
+    makespans = np.zeros(n_trees, dtype=np.float64)
+    level = 1
+    while plo.size:
+        m = phi - plo - 1
+        has = m > 0
+        if not has.all():
+            plo, phi, pid, pready, tid, m = (
+                plo[has], phi[has], pid[has], pready[has], tid[has], m[has]
+            )
+        if not plo.size:
+            break
+        k = np.minimum(width, m)
+        base = m // k
+        extra = m - base * k
+        total = int(k.sum())
+        pidx = np.repeat(np.arange(k.size), k)
+        offs = np.cumsum(k) - k
+        j = np.arange(total, dtype=np.int64) - offs[pidx]
+        c_lo = plo[pidx] + 1 + j * base[pidx] + np.minimum(j, extra[pidx])
+        c_hi = c_lo + base[pidx] + (j < extra[pidx])
+        child = arr[c_lo]
+        initiated = pready[pidx] + (j + 1) * overhead
+        parent_ids = pid[pidx]
+        t_child = tid[pidx]
+        if down_arr is not None:
+            dead = np.isin(child, down_arr)
+            if dead.any():
+                for i in np.nonzero(dead)[0]:
+                    patches.append(
+                        (
+                            int(t_child[i]), int(c_lo[i]), int(c_hi[i]),
+                            int(parent_ids[i]), float(initiated[i]), level,
+                        )
+                    )
+                live = ~dead
+                c_lo = c_lo[live]
+                c_hi = c_hi[live]
+                child = child[live]
+                initiated = initiated[live]
+                parent_ids = parent_ids[live]
+                t_child = t_child[live]
+        if child.size:
+            delays = fabric.transfer_delays_pairwise(parent_ids, child, size_bytes)
+            arrival = initiated + delays
+            # t_child is sorted (tree-major level arrays): slice maxima.
+            bounds = np.searchsorted(t_child, np.arange(n_trees + 1))
+            for i in range(n_trees):
+                s, e = int(bounds[i]), int(bounds[i + 1])
+                if e > s:
+                    peak = float(arrival[s:e].max())
+                    if peak > makespans[i]:
+                        makespans[i] = peak
+            if tel is not None:
+                tel.observe_many(f"net.tree.level{level}.arrival_s", arrival)
+        else:
+            arrival = initiated
+        plo, phi, pid, pready, tid = c_lo, c_hi, child, arrival, t_child
+        level += 1
+    for i, walk in enumerate(walks):
+        walk.makespan = float(makespans[i])
+    for t_i, p_lo, p_hi, parent_id, initiated_s, p_level in sorted(patches):
+        walk = walks[t_i]
+        off = int(offsets[t_i])
+        walk.timeouts += 1
+        walk.failed.append(walk.nodelist[p_lo - off])
+        walk.takeover(p_lo - off, p_hi - off, parent_id, initiated_s + walk.penalty, p_level)
+
+
 class TreeBroadcast(BroadcastStructure):
     """K-ary tree relay with asynchronous dispatch and synchronous takeover.
 
@@ -366,3 +469,37 @@ class TreeBroadcast(BroadcastStructure):
         result.failed = tuple(walk.failed)
         result.n_timeouts = walk.timeouts
         return result
+
+    def simulate_forest(self, tasks, size_bytes, fabric):
+        """Evaluate many independent trees over the same fabric at once.
+
+        Result list matches ``tasks`` (one :class:`BroadcastResult` per
+        ``(root, targets)``) and every entry is bit-identical to a
+        standalone :meth:`simulate` call; the trees only share the
+        per-level numpy dispatches.  Falls back to sequential scalar
+        evaluation under jitter (per-transfer RNG draws must keep their
+        order) or when the combined forest is too small to batch.
+        """
+        total = sum(len(targets) for _, targets in tasks)
+        if fabric.config.jitter_frac != 0.0 or total < self.FAST_PATH_MIN_TARGETS:
+            return [self.simulate(root, targets, size_bytes, fabric) for root, targets in tasks]
+        results: list[BroadcastResult] = []
+        walks: list[_TreeWalk] = []
+        for root, targets in tasks:
+            self._validate(targets, size_bytes)
+            result = BroadcastResult(self.name, 0.0, len(targets))
+            results.append(result)
+            if targets:
+                walks.append(_TreeWalk(self.width, [root, *targets], size_bytes, fabric, None))
+            else:
+                walks.append(None)  # type: ignore[arg-type]
+        live = [w for w in walks if w is not None]
+        if live:
+            _run_forest(live, self.per_target_root_s)
+        for result, walk in zip(results, walks):
+            if walk is None:
+                continue
+            result.makespan_s = walk.makespan
+            result.failed = tuple(walk.failed)
+            result.n_timeouts = walk.timeouts
+        return results

@@ -89,20 +89,23 @@ class DaemonAccounting:
 
     # -- sampling ------------------------------------------------------------
     def start_sampler(self, interval_s: float = 1.0) -> None:
-        """Spawn the once-per-``interval`` sampler process (idempotent).
+        """Arm the once-per-``interval`` sampler timer (idempotent).
 
         The paper samples once a second; benches on long horizons pass a
-        coarser interval to keep series sizes manageable.
+        coarser interval to keep series sizes manageable.  One re-armed
+        :class:`~repro.simkit.events.Timer` replaces the historical
+        generator loop — same fire times, no per-sample Timeout.
         """
         if self._sampler_started:
             return
         self._sampler_started = True
-        self.sim.process(self._sample_loop(interval_s), name=f"{self.owner}.sampler")
 
-    def _sample_loop(self, interval_s: float) -> t.Generator:
-        while True:
-            yield self.sim.timeout(interval_s)
+        def fire() -> None:
             self.sample()
+            timer.arm(interval_s)
+
+        timer = self.sim.timer(fire, label=f"{self.owner}.sampler")
+        timer.arm(interval_s)
 
     def sample(self) -> None:
         """Record one sample of every series at the current time."""

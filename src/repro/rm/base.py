@@ -28,6 +28,7 @@ from repro.network.fabric import FabricConfig, NetworkFabric
 from repro.network.message import DEFAULT_SIZES, MessageKind
 from repro.network.structures import StarBroadcast, TreeBroadcast
 from repro.rm.accounting import DaemonAccounting
+from repro.rm.lifecycle import RESIZE_CAUSE, JobLifecycle
 from repro.rm.profiles import HeartbeatStyle, LaunchStructure, RMProfile
 from repro.sched.allocator import NodePool
 from repro.sched.backfill import BackfillScheduler, ResizeDecision
@@ -39,9 +40,13 @@ from repro.simkit.monitor import Tally
 from repro.telemetry import facade as telemetry
 
 
-#: interrupt cause the engine uses to retime a malleable job's work
-#: loop after a grow/shrink — anything else kills the job as before
-RESIZE_CAUSE = "resize"
+# RESIZE_CAUSE (re-exported above from repro.rm.lifecycle): interrupt
+# cause the engine uses to retime a malleable job's work loop after a
+# grow/shrink — anything else kills the job as before.
+
+#: selectable job-lifecycle engines: the flat FSM fast path (default)
+#: and the generator reference implementation it is proven against
+LIFECYCLE_MODES = ("fsm", "generator")
 
 
 def tree_depth_estimate(n: int, width: int) -> int:
@@ -111,6 +116,11 @@ class ResourceManager:
         placement: optional :class:`~repro.sched.placement.PlacementPolicy`
             steering which free nodes allocations receive (``None`` keeps
             the byte-stable first-fit path).
+        lifecycle: job-lifecycle engine — ``"fsm"`` (the flat
+            table-driven fast path on the kernel's timer lane, the
+            default) or ``"generator"`` (the reference
+            :meth:`_run_job` process; the ``lifecycle-equivalence``
+            oracle relation holds the two identical).
     """
 
     rm_name = "generic"
@@ -126,7 +136,13 @@ class ResourceManager:
         user_rpc_rate_per_s: float = 0.05,
         sample_interval_s: float = 60.0,
         placement: t.Any = None,
+        lifecycle: str = "fsm",
     ) -> None:
+        if lifecycle not in LIFECYCLE_MODES:
+            raise ConfigurationError(
+                f"unknown lifecycle {lifecycle!r}; choose from {LIFECYCLE_MODES}"
+            )
+        self.lifecycle_mode = lifecycle
         self.sim = sim
         self.cluster = cluster
         self.profile = profile
@@ -185,13 +201,88 @@ class ResourceManager:
         if p.persistent_socket_frac > 0:
             self.master_acct.sockets.open(int(p.persistent_socket_frac * self.cluster.n_nodes))
         self.master_acct.start_sampler(self.sample_interval_s)
-        self.sim.process(self._heartbeat_loop(), name=f"{self.rm_name}.heartbeat")
-        if self.user_rpc_rate > 0:
-            self.sim.process(self._user_rpc_loop(), name=f"{self.rm_name}.user_rpc")
-        self.sim.process(self._scheduler_tick_loop(), name=f"{self.rm_name}.sched_tick")
-        if p.crash_node_hours != float("inf"):
-            self.sim.process(self._crash_loop(), name=f"{self.rm_name}.crashes")
+        if self.lifecycle_mode == "fsm":
+            # Flat path: every periodic loop is a re-armed Timer — same
+            # fire times and same per-stream draw order as the generator
+            # loops below, minus the per-iteration Timeout + resume.
+            self._start_flat_loops()
+        else:
+            self.sim.process(self._heartbeat_loop(), name=f"{self.rm_name}.heartbeat")
+            if self.user_rpc_rate > 0:
+                self.sim.process(self._user_rpc_loop(), name=f"{self.rm_name}.user_rpc")
+            self.sim.process(self._scheduler_tick_loop(), name=f"{self.rm_name}.sched_tick")
+            if p.crash_node_hours != float("inf"):
+                self.sim.process(self._crash_loop(), name=f"{self.rm_name}.crashes")
         self.cluster.failures.subscribe(self._on_failure_event)
+
+    def _start_flat_loops(self) -> None:
+        """Timer-lane twins of the background generator loops.
+
+        Each handler runs the loop body first and re-arms afterwards —
+        the exact resume order of the generators (body after the yield,
+        next Timeout created at the loop top) — so fire times, same-tick
+        arming order, and RNG stream draw order all match the reference
+        path.
+        """
+        p = self.profile
+        sim = self.sim
+
+        def hb_fire() -> None:
+            if not self.master_down:
+                self._heartbeat_round()
+            hb.arm(p.heartbeat_interval_s)
+
+        hb = sim.timer(hb_fire, label=f"{self.rm_name}.heartbeat")
+        hb.arm(p.heartbeat_interval_s)
+        if self.user_rpc_rate > 0:
+            rpc_rng = sim.rng.stream(f"{self.rm_name}.user_rpc")
+
+            def rpc_fire() -> None:
+                self.master_acct.charge_cpu(p.user_rpc_cpu_ms / 1e3)
+                self.master_acct.sockets.pulse(1, self.estimated_response_time())
+                rpc.arm(rpc_rng.exponential(1.0 / self.user_rpc_rate))
+
+            rpc = sim.timer(rpc_fire, label=f"{self.rm_name}.user_rpc")
+            rpc.arm(rpc_rng.exponential(1.0 / self.user_rpc_rate))
+
+        def tick_fire() -> None:
+            self._schedule_pass()
+            tick.arm(p.scheduler_tick_s)
+
+        tick = sim.timer(tick_fire, label=f"{self.rm_name}.sched_tick")
+        tick.arm(p.scheduler_tick_s)
+        if p.crash_node_hours != float("inf"):
+            self._start_crash_timer()
+
+    def _start_crash_timer(self) -> None:
+        """Two-phase timer twin of :meth:`_crash_loop` (crash → reboot)."""
+        p = self.profile
+        rng = self.sim.rng.stream(f"{self.rm_name}.crashes")
+        mtbf_s = p.crash_node_hours / max(self.cluster.n_nodes, 1) * 3600.0
+        rebooting = [False]
+
+        def fire() -> None:
+            if rebooting[0]:
+                rebooting[0] = False
+                self._schedule_pass()  # reboot: work through the backlog
+                timer.arm(rng.exponential(mtbf_s))
+                return
+            self.crash_count += 1
+            self._crashed_until = self.sim.now + p.reboot_minutes * 60.0
+            victims = [
+                job_id
+                for job_id in list(self.pool.running)
+                if rng.random() < self.CRASH_ORPHAN_FRACTION
+            ]
+            for job_id in victims:
+                proc = self._job_procs.get(job_id)
+                if proc is not None and proc.is_alive:
+                    proc.interrupt(cause="master crash")
+            rebooting[0] = True
+            timer.arm(p.reboot_minutes * 60.0)
+
+        timer = self.sim.timer(fire, label=f"{self.rm_name}.crashes")
+        timer.arm(rng.exponential(mtbf_s))
 
     @property
     def master_down(self) -> bool:
@@ -304,6 +395,18 @@ class ResourceManager:
         self._elastic_pass()
 
     def _launch_decisions(self, decisions: list[tuple[Job, tuple[int, ...]]]) -> None:
+        if self.lifecycle_mode == "fsm":
+            for job, nodes in decisions:
+                for nid in nodes:
+                    self.cluster.node(nid).allocate(job.job_id)
+                lc = JobLifecycle(self, job, nodes)
+                self._job_procs[job.job_id] = lc
+                # Synchronous begin: the generator path defers the same
+                # charges/broadcast to a same-tick bootstrap event; none
+                # of them read state a later decision in this batch
+                # mutates, so timings are identical.
+                lc.begin()
+            return
         for job, nodes in decisions:
             for nid in nodes:
                 self.cluster.node(nid).allocate(job.job_id)
@@ -408,7 +511,11 @@ class ResourceManager:
         finally:
             self._resize_ok.discard(job.job_id)
 
-    # -- the job lifecycle process ------------------------------------------
+    # -- the job lifecycle process (reference path) ---------------------------
+    # The flat FSM in repro.rm.lifecycle is the default engine; this
+    # generator is kept selectable (lifecycle="generator") as the
+    # readable reference the lifecycle-equivalence relation checks the
+    # FSM against, phase for phase.
     def _run_job(self, job: Job, nodes: tuple[int, ...]) -> t.Generator:
         submit_like = self.sim.now  # resources held from this instant
         teardown = False

@@ -146,7 +146,12 @@ class EslurmRM(ResourceManager):
         makespans: list[float] = []
         failed: list[int] = []
         timeouts = 0
-        for part in parts:
+        # Assignment first (satellite state machine + takeovers keep
+        # their sequential event order — no sim time passes in between),
+        # then every relay tree evaluates in one batched forest walk.
+        results: list[BroadcastResult | None] = [None] * len(parts)
+        relays: list[tuple[int, SatelliteDaemon, list[int]]] = []
+        for i, part in enumerate(parts):
             sat = self.sat_pool.assign_task(len(part))
             if sat is None:
                 # No healthy satellite left: master takes the task over.
@@ -158,8 +163,26 @@ class EslurmRM(ResourceManager):
                 self.master_acct.sockets.pulse(
                     min(p.tree_width, len(part)), max(res.makespan_s, 1e-3)
                 )
+                results[i] = res
             else:
-                res = self._relay(sat, part, size)
+                # The relay itself cannot fail (liveness was just
+                # checked and evaluation advances no sim time), so the
+                # BUSY -> RUNNING transition lands here exactly as it
+                # did after each sequential relay.
+                sat.handle(SatelliteEvent.BT_SUCCESS)
+                relays.append((i, sat, part))
+        if relays:
+            forest = self._fp_engine.simulate_forest(
+                [(sat.node.node_id, part) for _, sat, part in relays], size, self.fabric
+            )
+            for (i, sat, part), res in zip(relays, forest):
+                sat.acct.charge_cpu(p.rpc_cpu_us / 1e6 * len(part))
+                sat.acct.sockets.pulse(
+                    min(p.tree_width, len(part)), max(res.makespan_s, 1e-3)
+                )
+                results[i] = res
+        for res in results:
+            assert res is not None
             makespans.append(res.makespan_s)
             failed.extend(res.failed)
             timeouts += res.n_timeouts
@@ -188,7 +211,11 @@ class EslurmRM(ResourceManager):
         return result
 
     def _relay(self, sat: SatelliteDaemon, part: list[int], size: int) -> BroadcastResult:
-        """One satellite relays ``part`` via its FP-Tree."""
+        """One satellite relays ``part`` via its FP-Tree.
+
+        Kept as the single-task form of the forest path in
+        :meth:`_broadcast` (chaos/failover tests drive it directly).
+        """
         res = self._fp_engine.simulate(sat.node.node_id, part, size, self.fabric)
         sat.acct.charge_cpu(self.profile.rpc_cpu_us / 1e6 * len(part))
         sat.acct.sockets.pulse(
@@ -220,12 +247,13 @@ class EslurmRM(ResourceManager):
             telemetry.count("rm.heartbeat.fptree_rebuilds")
             targets = self.cluster.compute_ids()
             parts = self.sat_pool.split(targets, n_sats)
-            makespans = []
             size = DEFAULT_SIZES[MessageKind.HEARTBEAT]
-            for d, part in zip(running, parts):
-                res = self._fp_engine.simulate(d.node.node_id, part, size, self.fabric)
-                makespans.append(res.makespan_s)
-            self._hb_cache_makespan = max(makespans, default=0.0)
+            sweep = self._fp_engine.simulate_forest(
+                [(d.node.node_id, part) for d, part in zip(running, parts)],
+                size,
+                self.fabric,
+            )
+            self._hb_cache_makespan = max((r.makespan_s for r in sweep), default=0.0)
             self._hb_cache_key = key
         self.last_heartbeat_makespan_s = self._hb_cache_makespan
 

@@ -1,0 +1,282 @@
+"""Flat, table-driven FSM job lifecycle — the hot-path twin of
+:meth:`repro.rm.base.ResourceManager._run_job`.
+
+The generator lifecycle pays, per job, a bootstrap event, a ``Timeout``
+allocation + ``Process._resume`` round-trip per phase, a completion
+event, and (on kill/resize) an interrupt event carrying an exception.
+At paper scale — 10K jobs over a 16K-node day — that dispatch machinery
+*is* the remaining hot path (ROADMAP: "per-event Python dispatch in the
+process/generator layer").
+
+:class:`JobLifecycle` replaces all of it with one re-armable
+:class:`~repro.simkit.events.Timer` per job and a phase table of plain
+bound-method callbacks:
+
+    LAUNCH --timer--> WORK --timer--> (HOLD --timer-->) TERM --timer--> DONE
+
+* **LAUNCH**: launch CPU charged, launch broadcast computed, timer armed
+  for the broadcast makespan; on fire the job starts.
+* **WORK**: rigid jobs arm one timer for ``effective_runtime_s``;
+  malleable jobs arm per-segment timers over a work-conserving budget
+  (``n_nodes × effective_runtime_s`` node-seconds, the DMR model) and
+  resize retiming is an explicit cancel + re-arm instead of a
+  ``ProcessInterrupt`` thrown through the generator.
+* **HOLD**: a crashed master cannot process the completion — the job's
+  resources stay occupied until the daemon is back (same single-hold
+  semantics as the generator: the crash window is checked once, when
+  work completes).
+* **TERM**: end state decided, terminate broadcast computed, timer armed
+  for its makespan; on fire the job finishes and releases.
+
+Kills (node failure, master-crash orphaning) arrive through
+:meth:`JobLifecycle.interrupt` — same entry point the generator path
+uses — and run synchronously: the pending timer is lazily cancelled and
+the job fails/releases immediately, which lands at the same simulated
+time as the generator's same-tick URGENT interrupt delivery.
+Interrupting a DONE lifecycle is a silent no-op, mirroring the
+``triggered`` guard that makes a late generator interrupt delivery
+no-op (see :meth:`repro.simkit.process.Process.interrupt`).
+
+The generator path stays selectable (``lifecycle="generator"``) as the
+reference implementation; the ``lifecycle-equivalence`` oracle relation
+(:mod:`repro.oracle.differential`) proves the two produce identical
+per-job start/end times, end states, node assignments and schedule
+metrics on seeded workloads, including malleable + failure + crash
+scenarios.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SimulationError
+from repro.network.message import MessageKind
+from repro.sched.job import Job, JobState
+from repro.simkit.events import Timer
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rm.base import ResourceManager
+
+#: interrupt cause the engine uses to retime a malleable job's work
+#: loop after a grow/shrink — anything else kills the job
+RESIZE_CAUSE = "resize"
+
+# Phase indices — the FSM table in ``_TRANSITIONS`` is keyed on these.
+LAUNCH, WORK, HOLD, TERM, DONE = range(5)
+PHASE_NAMES = ("launch", "work", "hold", "term", "done")
+
+#: below this many node-seconds a malleable work budget counts as spent
+#: (same epsilon as the generator loop's ``while work > 1e-9``)
+_WORK_EPS = 1e-9
+
+
+class JobLifecycle:
+    """One job's flattened lifecycle on the kernel's timer lane.
+
+    API-compatible with the :class:`~repro.simkit.process.Process` the
+    engine used to store in ``_job_procs``: the failure/crash/resize
+    paths only touch :attr:`is_alive` and :meth:`interrupt`, so they
+    drive either implementation unchanged.
+    """
+
+    __slots__ = (
+        "rm",
+        "job",
+        "nodes",
+        "phase",
+        "timer",
+        "submit_like",
+        "work",
+        "seg_start",
+        "seg_width",
+        "end_state",
+    )
+
+    def __init__(self, rm: "ResourceManager", job: Job, nodes: tuple[int, ...]) -> None:
+        self.rm = rm
+        self.job = job
+        self.nodes = nodes
+        self.phase = LAUNCH
+        self.timer: Timer | None = None
+        self.submit_like = rm.sim.now  # resources held from this instant
+        # Malleable work-segment state (work-conservation bookkeeping).
+        self.work = 0.0
+        self.seg_start = 0.0
+        self.seg_width = 1
+        self.end_state: JobState | None = None
+
+    # -- Process-compatible surface ------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True until the job has finished/failed and released."""
+        return self.phase != DONE
+
+    @property
+    def name(self) -> str:
+        return f"job{self.job.job_id}"
+
+    def interrupt(self, cause: t.Any = None) -> None:
+        """Kill the job — or retime its work segment on a resize.
+
+        Synchronous, unlike the generator's deferred URGENT delivery;
+        both land at the same simulated time.  A DONE lifecycle ignores
+        the call (the generator's late delivery no-ops the same way via
+        the ``triggered`` guard).
+        """
+        if self.phase == DONE:
+            return
+        if cause == RESIZE_CAUSE and self.phase == WORK and self.job.malleable:
+            self._retime_work()
+            return
+        self._kill()
+
+    # -- lifecycle entry -----------------------------------------------
+    def begin(self) -> None:
+        """Charge launch CPU, fire the launch broadcast, arm its timer."""
+        rm = self.rm
+        p = rm.profile
+        rm.master_acct.charge_cpu(
+            p.launch_cpu_ms / 1e3 + p.launch_cpu_per_node_us / 1e6 * len(self.nodes)
+        )
+        launch = rm._broadcast(MessageKind.JOB_LAUNCH, self.nodes)
+        rm._bcast_tally.record(launch.makespan_s)
+        self._arm(launch.makespan_s)
+
+    # -- timer plumbing ------------------------------------------------
+    def _arm(self, delay: float) -> None:
+        timer = self.timer
+        if timer is None or timer.cancelled:
+            # First phase, or the previous timer was lazily cancelled
+            # (resize retime): its stale heap entry forbids re-arming the
+            # same object, so a fresh one replaces it (see Timer.arm).
+            timer = self.rm.sim.timer(self._on_timer, label=f"job{self.job.job_id}")
+            self.timer = timer
+        timer.arm(delay)
+
+    def _on_timer(self) -> None:
+        _TRANSITIONS[self.phase](self)
+
+    # -- phase transitions ---------------------------------------------
+    def _on_launched(self) -> None:
+        rm, job = self.rm, self.job
+        job.start(rm.sim.now, self.nodes)
+        rm.master_acct.set_tracked(jobs=len(rm.pool.running) + len(rm.queue))
+        self.phase = WORK
+        if job.malleable:
+            self.work = float(job.n_nodes) * job.effective_runtime_s
+            rm._resize_ok.add(job.job_id)
+            self._arm_work_segment()
+        else:
+            self._arm(job.effective_runtime_s)
+
+    def _arm_work_segment(self) -> None:
+        """One interruptible segment: burns ``width`` node-seconds per
+        second of the remaining budget at the current allocation."""
+        job = self.job
+        self.seg_width = max(len(job.allocated_nodes), 1)
+        self.seg_start = self.rm.sim.now
+        self._arm(self.work / self.seg_width)
+
+    def _retime_work(self) -> None:
+        """A grow/shrink landed mid-segment: deduct what the old width
+        burned, then restart the segment at the new width — the explicit
+        form of the generator's ``ProcessInterrupt(RESIZE_CAUSE)``."""
+        rm = self.rm
+        self.work -= (rm.sim.now - self.seg_start) * self.seg_width
+        timer = self.timer
+        if timer is not None and timer.pending and not timer.cancelled:
+            timer.cancel()
+        if self.work > _WORK_EPS:
+            self._arm_work_segment()
+        else:
+            # The old width finished the budget exactly at the resize
+            # instant — proceed as the generator loop's exit does.
+            self.work = 0.0
+            self._end_work()
+
+    def _on_work_done(self) -> None:
+        self.work = 0.0
+        self._end_work()
+
+    def _end_work(self) -> None:
+        rm, job = self.rm, self.job
+        if job.malleable:
+            rm._resize_ok.discard(job.job_id)
+        # A crashed master cannot process the completion: the job's
+        # resources stay occupied until the daemon is back.
+        if rm.master_down:
+            self.phase = HOLD
+            self._arm(rm._crashed_until - rm.sim.now)
+            return
+        self._start_terminate()
+
+    def _on_hold_done(self) -> None:
+        self._start_terminate()
+
+    def _start_terminate(self) -> None:
+        rm, job = self.rm, self.job
+        self.end_state = JobState.TIMEOUT if job.will_timeout else JobState.COMPLETED
+        # Resizes may have changed the allocation since launch.
+        term_targets = job.allocated_nodes or self.nodes
+        term = rm._broadcast(MessageKind.JOB_TERMINATE, term_targets)
+        rm._bcast_tally.record(term.makespan_s)
+        self.phase = TERM
+        self._arm(term.makespan_s)
+
+    def _on_term_done(self) -> None:
+        rm, job = self.rm, self.job
+        job.finish(rm.sim.now, t.cast(JobState, self.end_state))
+        self.phase = DONE
+        rm._release(job, self.nodes, self.submit_like)
+
+    def _on_done(self) -> None:  # pragma: no cover - table completeness
+        raise SimulationError(f"timer fired on finished lifecycle {self.name!r}")
+
+    # -- kill path -----------------------------------------------------
+    def _kill(self) -> None:
+        """Node failure / master crash killed the job mid-flight."""
+        rm, job = self.rm, self.job
+        if self.phase == WORK and job.malleable:
+            rm._resize_ok.discard(job.job_id)
+        timer = self.timer
+        if timer is not None and timer.pending and not timer.cancelled:
+            timer.cancel()
+        self.phase = DONE
+        if job.state is JobState.RUNNING:
+            job.finish(rm.sim.now, JobState.FAILED)
+        elif job.state is JobState.PENDING:
+            job.state = JobState.FAILED
+            job.end_time = rm.sim.now
+        rm._release(job, self.nodes, self.submit_like)
+
+    # -- snapshot identity ---------------------------------------------
+    def snapshot_state(self) -> dict[str, t.Any]:
+        """Structural state for :mod:`repro.snapshot` capture digests.
+
+        Replay-stable: phases, budgets and segment marks are functions
+        of simulated time only, so a rebuilt world paused at the same
+        event boundary reports byte-identical lifecycle state.
+        """
+        timer = self.timer
+        return {
+            "phase": PHASE_NAMES[self.phase],
+            "nodes": list(self.nodes),
+            "work": self.work,
+            "seg_start": self.seg_start,
+            "seg_width": self.seg_width,
+            "end_state": None if self.end_state is None else self.end_state.name,
+            "timer": None if timer is None else timer.describe(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<JobLifecycle {self.name!r} {PHASE_NAMES[self.phase]}>"
+
+
+#: the FSM table: phase index -> transition run when the phase's timer fires
+_TRANSITIONS: tuple[t.Callable[[JobLifecycle], None], ...] = (
+    JobLifecycle._on_launched,
+    JobLifecycle._on_work_done,
+    JobLifecycle._on_hold_done,
+    JobLifecycle._on_term_done,
+    JobLifecycle._on_done,
+)

@@ -97,15 +97,20 @@ class BackfillScheduler:
         head = queue.head()
         if head is None:
             return decisions
-        # Phase 2: reservation for the blocked head.
-        shadow_time, extra_nodes = self._reservation(head, pool, now)
-        # Phase 3: backfill behind the reservation.
         tel = telemetry.active()
         candidates = queue.backfill_candidates(self.max_backfill_depth)
         if tel is not None:
             # one bulk increment per pass, not one call per candidate —
             # this counter alone dominated pass cost at 16K nodes
             tel.count("sched.backfill.attempts", len(candidates))
+        if pool.n_free == 0 or not candidates:
+            # No candidate can fit (``fits`` needs at least one free
+            # node), so the reservation walk would decide nothing; the
+            # outcome is identical to walking phases 2-3 to no effect.
+            return decisions
+        # Phase 2: reservation for the blocked head.
+        shadow_time, extra_nodes = self._reservation(head, pool, now)
+        # Phase 3: backfill behind the reservation.
         for job in candidates:
             if not pool.fits(job):
                 continue

@@ -11,6 +11,7 @@ Public surface::
 
     Simulator        -- the event loop / clock
     Event, Timeout   -- primitive events
+    Timer            -- re-armable callback timer (the flat FSM lane)
     AllOf, AnyOf     -- event combinators
     Process          -- a running generator activity
     Store, Resource  -- queueing primitives
@@ -19,7 +20,7 @@ Public surface::
 """
 
 from repro.simkit.core import Simulator
-from repro.simkit.events import AllOf, AnyOf, Event, Timeout
+from repro.simkit.events import AllOf, AnyOf, Event, Timeout, Timer
 from repro.simkit.monitor import Counter, Tally, TimeSeries
 from repro.simkit.process import Process
 from repro.simkit.resources import Resource, Store
@@ -29,6 +30,7 @@ __all__ = [
     "Simulator",
     "Event",
     "Timeout",
+    "Timer",
     "AllOf",
     "AnyOf",
     "Process",

@@ -12,7 +12,7 @@ import time
 import typing as t
 
 from repro.errors import SimulationError
-from repro.simkit.events import PRIORITY_NORMAL, PRIORITY_URGENT, Event, Timeout
+from repro.simkit.events import PRIORITY_NORMAL, PRIORITY_URGENT, Event, Timeout, Timer
 from repro.simkit.process import Process
 from repro.simkit.rng import RngRegistry
 from repro.telemetry import facade as telemetry
@@ -75,6 +75,11 @@ class Simulator:
         """Start running ``generator`` as a simulation process."""
         return Process(self, generator, name=name)
 
+    def timer(self, fn: t.Callable[[], None], label: str = "timer") -> Timer:
+        """Create an idle re-armable :class:`Timer` on this simulator's
+        timer lane (arm it with :meth:`Timer.arm`)."""
+        return Timer(self, fn, label=label)
+
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, priority: int = PRIORITY_NORMAL, delay: float = 0.0) -> None:
         """Queue a triggered event to fire ``delay`` units from now."""
@@ -115,7 +120,8 @@ class Simulator:
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"
         for callback in callbacks:
-            callback(event)
+            if callback is not None:  # skip dead slots left by detached waiters
+                callback(event)
         # The event *was* processed — its callbacks ran — so the count,
         # the golden trace, and the probes must all agree on that before
         # an undefused failure propagates; raising between the count and
@@ -222,7 +228,8 @@ class Simulator:
                     assert callbacks is not None, "event processed twice"
                     i += 1
                     for callback in callbacks:
-                        callback(event)
+                        if callback is not None:  # dead slot (detached waiter)
+                            callback(event)
                     self.events_processed += 1
                     for hook in hooks:
                         hook(when, entry[1], entry[2])
@@ -287,7 +294,8 @@ class Simulator:
                         assert callbacks is not None, "event processed twice"
                         i += 1
                         for callback in callbacks:
-                            callback(event)
+                            if callback is not None:  # dead slot (detached waiter)
+                                callback(event)
                         self.events_processed += 1
                         for hook in hooks:
                             hook(when, entry[1], entry[2])

@@ -132,14 +132,21 @@ class Event:
         hold arbitrary non-serialisable objects): two worlds built from
         the same config and driven to the same event boundary must
         produce equal ``describe()`` dicts for corresponding events.
+        Detached waiters leave ``None`` dead slots behind (see
+        :meth:`Process._resume`); only live callbacks are counted.
         """
+        callbacks = self.callbacks
         return {
             "type": type(self).__name__,
             "triggered": self.triggered,
             "cancelled": self.cancelled,
             "defused": self.defused,
             "ok": self._ok,
-            "callbacks": None if self.callbacks is None else len(self.callbacks),
+            "callbacks": (
+                None
+                if callbacks is None
+                else sum(1 for cb in callbacks if cb is not None)
+            ),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -164,6 +171,76 @@ class Timeout(Event):
     def describe(self) -> dict[str, t.Any]:
         state = super().describe()
         state["delay"] = self.delay
+        return state
+
+
+class Timer(Event):
+    """A re-armable plain-callback timer: the kernel's flat *timer lane*.
+
+    A :class:`Timeout` + generator resume costs an event allocation, a
+    callbacks list, and a ``send()`` per phase.  A ``Timer`` instead
+    carries one zero-argument function and reuses a single event object
+    and a single cached callbacks list across many firings — each
+    :meth:`arm` pushes only the heap tuple.  The table-driven FSM job
+    lifecycle (:mod:`repro.rm.lifecycle`) runs entirely on this lane.
+
+    Re-arming rule (a consequence of lazy cancellation): a timer may be
+    re-armed only once its previous heap entry has been *consumed* —
+    i.e. from inside its own firing, or before any arming.  A cancelled
+    timer still has a stale entry sitting in the heap; re-arming it
+    would reset nothing and the stale entry would fire the new arming
+    early.  :meth:`arm` therefore rejects cancelled or still-pending
+    timers — abandon the object and make a fresh one (the kill/resize
+    paths that cancel are rare, so pooling only the common path wins).
+
+    Not a general-purpose Event: ``run(until=timer)`` and waiting on a
+    timer from a process are unsupported (callbacks registered by
+    outsiders would persist across re-arms).
+    """
+
+    __slots__ = ("fn", "label", "_pending", "_cbs")
+
+    def __init__(self, sim: "Simulator", fn: t.Callable[[], None], label: str = "timer") -> None:
+        super().__init__(sim)
+        self.fn = fn
+        self.label = label
+        self._ok = True
+        self._value = None
+        self._pending = False
+        self._cbs: list[t.Callable[[Event], None] | None] = [self._run]
+        self.callbacks = None  # idle until armed
+
+    @property
+    def pending(self) -> bool:
+        """True while an armed firing sits in the heap (or was cancelled)."""
+        return self._pending
+
+    def arm(self, delay: float, priority: int = PRIORITY_NORMAL) -> "Timer":
+        """Schedule :attr:`fn` to run ``delay`` units from now."""
+        if self._pending or self.cancelled:
+            raise SimulationError(
+                f"timer {self.label!r} cannot be re-armed while pending/cancelled"
+            )
+        if delay < 0:
+            raise SimulationError(f"negative timer delay: {delay!r}")
+        self._pending = True
+        self.callbacks = self._cbs
+        self.sim.schedule(self, priority, delay)
+        return self
+
+    def cancel(self) -> None:
+        """Mark the pending firing dead (lazy heap deletion, see Event)."""
+        if not self._pending:
+            raise SimulationError(f"cannot cancel idle timer {self.label!r}")
+        self.cancelled = True
+
+    def _run(self, _event: Event) -> None:
+        self._pending = False
+        self.fn()
+
+    def describe(self) -> dict[str, t.Any]:
+        state = super().describe()
+        state["label"] = self.label
         return state
 
 

@@ -98,7 +98,12 @@ def _series_state(series: t.Any) -> list[t.Any]:
 
 
 def _acct_state(acct: t.Any) -> dict[str, t.Any]:
+    # Apply pulse closes due by now before reading counter/series state
+    # (closes are lazily drained; see repro.network.sockets).
+    acct.sockets.sync()
+    pending = acct.sockets._pending
     return {
+        "sockets_pending": [len(pending), min(pending)[0] if pending else None],
         "cpu_time_s": acct.cpu_time_s,
         "busy_in_window": acct._busy_in_window,
         "tracked_nodes": acct.tracked_nodes,
@@ -160,6 +165,14 @@ def _rm_state(rm: t.Any) -> dict[str, t.Any]:
         "resize_shrinks": rm.resize_shrinks,
         "resize_ok": sorted(rm._resize_ok),
         "live_job_procs": sorted(rm._job_procs),
+        # FSM-path lifecycles expose structural phase state; generator
+        # Processes don't (their phase lives in an opaque frame), so
+        # this maps only FSM entries (empty on the generator path).
+        "lifecycles": {
+            str(job_id): proc.snapshot_state()
+            for job_id, proc in sorted(rm._job_procs.items())
+            if hasattr(proc, "snapshot_state")
+        },
         "occupation": _tally_state(rm._occupation),
         "broadcast": _tally_state(rm._bcast_tally),
         "master": _acct_state(rm.master_acct),

@@ -84,10 +84,14 @@ class TestRepeatedRearrangement:
         assert counter.visits <= bound, (counter.visits, bound)
 
     def test_visits_scale_linearly_not_quadratically(self):
-        """Doubling n must roughly double the visit count."""
+        """Doubling n must roughly double the visit count.
+
+        The predicted set must be non-empty: an empty prediction takes
+        the constructor's identity fast path, which walks nothing.
+        """
 
         def visits_for(n):
-            constructor = FPTreeConstructor(StaticSetPredictor(()), width=WIDTH)
+            constructor = FPTreeConstructor(StaticSetPredictor((3,)), width=WIDTH)
             counter = VisitCounter()
             with count_visits(counter):
                 constructor.construct(root=10_000, targets=list(range(n)))

@@ -55,3 +55,61 @@ def test_empty_tracker_mean_zero():
     tr = ConnectionTracker(Simulator(), "m")
     assert tr.mean() == 0.0
     assert tr.peak() == 0.0
+
+
+class TestLazyPulseCloses:
+    """Pulse closes ride a pending heap, not simulator events; every
+    observable must still match the eagerly-scheduled version."""
+
+    def test_no_simulator_events_scheduled(self):
+        sim = Simulator()
+        tr = ConnectionTracker(sim, "m")
+        for _ in range(100):
+            tr.pulse(3, 5.0)
+        sim.run()
+        assert sim.events_processed == 0  # the whole point of lazy closes
+
+    def test_series_records_true_close_instants(self):
+        sim = Simulator()
+        tr = ConnectionTracker(sim, "m")
+        tr.pulse(2, 5.0)  # closes at t=5
+        # Nothing touches the tracker until much later.
+        sim.run(until=100.0)
+        assert tr.current == 0
+        assert 5.0 in tr.series.times  # backdated to the real close time
+
+    def test_tied_closes_apply_in_pulse_order(self):
+        sim = Simulator()
+        tr = ConnectionTracker(sim, "m")
+        tr.pulse(1, 10.0)
+        tr.pulse(4, 10.0)  # same close instant, later pulse
+        sim.run(until=20.0)
+        assert tr.current == 0
+        # Values step 5 -> 4 -> 0 at the close instant: the first
+        # pulse's count came off first.
+        closes = [v for t, v in zip(tr.series.times, tr.series.values) if t == 10.0]
+        assert closes == [4, 0]
+
+    def test_closes_beyond_horizon_never_apply(self):
+        sim = Simulator()
+        tr = ConnectionTracker(sim, "m")
+        tr.pulse(2, 1e9)
+        sim.run(until=10.0)
+        assert tr.current == 2  # the eager close event would not have fired
+
+    def test_sync_drains_for_snapshots(self):
+        sim = Simulator()
+        tr = ConnectionTracker(sim, "m")
+        tr.pulse(2, 1.0)
+        sim.run(until=5.0)
+        tr.sync()
+        assert tr._current == 0  # drained without a read accessor
+        assert tr._pending == []
+
+    def test_peak_and_mean_see_lazy_closes(self):
+        sim = Simulator()
+        tr = ConnectionTracker(sim, "m")
+        tr.pulse(10, 2.0)
+        sim.run(until=10.0)
+        assert tr.peak() == 10
+        assert tr.mean() < 10  # closes were applied at t=2, not t=10

@@ -149,3 +149,113 @@ def test_process_name_defaults_to_generator_name():
     p = sim.process(myproc())
     assert "process" in repr(p) or "myproc" in repr(p)
     sim.run()
+
+
+def test_interrupt_after_same_tick_finish_noops():
+    """A deferred interrupt landing after the process already completed
+    in the same tick must silently no-op (the ``triggered`` guard) —
+    the semantics the FSM lifecycle's synchronous no-op kill mirrors.
+    """
+    sim = Simulator()
+
+    def worker():
+        try:
+            yield sim.timeout(10.0)
+            return "slept"
+        except ProcessInterrupt:
+            return "interrupted"
+
+    p = sim.process(worker())
+
+    def saboteur():
+        # Both interrupts are scheduled while the worker is alive; the
+        # first delivery resumes it to its end, so the second arrives
+        # to find it finished and must no-op rather than error.
+        yield sim.timeout(1.0)
+        p.interrupt(cause="first")
+        p.interrupt(cause="second")
+
+    sim.process(saboteur())
+    sim.run()
+    assert p.value == "interrupted"  # the first delivery, and only it
+
+
+def test_thousands_of_waiters_detach_in_constant_time():
+    """Satellite-scale wait sets: interrupting waiters parked on one
+    event must blank dead slots, not ``list.remove`` — a linear scan per
+    interrupt is O(n^2) across the set and once froze machine-size runs.
+    """
+    sim = Simulator()
+    n = 4000
+    gate = sim.event()
+    resumed = []
+    interrupted = []
+
+    def waiter(i):
+        try:
+            yield gate
+            resumed.append(i)
+        except ProcessInterrupt:
+            interrupted.append(i)
+            yield sim.timeout(0.0)
+
+    procs = [sim.process(waiter(i)) for i in range(n)]
+
+    def reaper():
+        yield sim.timeout(1.0)
+        # Interrupt every odd waiter; each detach must blank its slot.
+        for i in range(1, n, 2):
+            procs[i].interrupt(cause="evicted")
+        yield sim.timeout(1.0)
+        gate.succeed("open")
+
+    sim.process(reaper())
+    import time
+
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    assert sorted(interrupted) == list(range(1, n, 2))
+    assert sorted(resumed) == list(range(0, n, 2))
+    # Dead slots stay behind as None entries; survivors kept their order.
+    assert gate.callbacks is None  # processed
+    # Loose wall bound: the O(n^2) remove path took seconds at this size.
+    assert elapsed < 2.0, f"detach storm took {elapsed:.2f}s"
+
+
+def test_dead_slots_are_skipped_not_compacted():
+    """The callbacks list keeps its length (slots are blanked in place),
+    so surviving waiters' slot indices stay valid."""
+    sim = Simulator()
+    gate = sim.event()
+    log = []
+
+    def waiter(tag):
+        try:
+            yield gate
+            log.append(tag)
+        except ProcessInterrupt:
+            log.append(f"{tag}-int")
+            return
+
+    a = sim.process(waiter("a"))
+    b = sim.process(waiter("b"))
+    c = sim.process(waiter("c"))
+
+    def driver():
+        yield sim.timeout(1.0)
+        n_slots = len(gate.callbacks)
+        b.interrupt()
+        # Delivery is deferred (URGENT, same tick) — by this process's
+        # next resume the detach has happened: b's slot is blanked in
+        # place, the list does not shrink, survivors keep their slots.
+        yield sim.timeout(0.0)
+        assert len(gate.callbacks) == n_slots
+        assert gate.callbacks.count(None) == 1
+        yield sim.timeout(1.0)
+        gate.succeed()
+
+    sim.process(driver())
+    sim.run()
+    assert log == ["b-int", "a", "c"]
+    assert a.triggered and c.triggered

@@ -1,0 +1,137 @@
+"""Hostile snapshot cuts: mid-broadcast and mid-malleable-segment.
+
+The random-boundary sweep in ``test_equivalence`` rarely lands on the
+nastiest instants — while relay/launch connections are still open
+(pending lazy socket closes) or while an elastic job is inside a
+resized work segment (its remaining-work retiming lives in the FSM
+timer).  A probe run finds those exact event indices, then the usual
+three-arm equivalence (straight vs. warm split vs. cold restore) is
+asserted at each, and the captured state tree is checked to actually
+carry the mid-phase FSM and socket payloads.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.api import SimulationConfig
+from repro.rm.lifecycle import WORK
+from repro.snapshot import SimWorld, capture
+from repro.workload.synthetic import WorkloadConfig
+from tests.snapshot.helpers import cold_split_run, straight_run, warm_split_run
+
+SEED = 0
+
+
+def make_config(seed=SEED):
+    # A tight machine full of elastic jobs: backfill has to shrink
+    # running jobs to start queue heads, so the day spends real time
+    # inside resized work segments.
+    return SimulationConfig(
+        rm="eslurm",
+        n_nodes=32,
+        n_satellites=2,
+        seed=seed,
+        failures=True,
+        malleable=True,
+        n_jobs=40,
+        horizon_s=86_400.0,
+        workload=WorkloadConfig(max_nodes=16, malleable_fraction=0.8),
+    )
+
+
+@lru_cache(maxsize=None)
+def hostile_cuts(seed=SEED):
+    """Step a probe world one event at a time, classifying each boundary.
+
+    Returns ``(mid_broadcast, mid_malleable)`` — event indices where,
+    respectively, master connections are still open (a broadcast or
+    launch round is in flight) and a resized elastic job sits inside a
+    work segment.
+    """
+    world = SimWorld(make_config(seed))
+    rm = world.rm
+    sockets = rm.master_acct.sockets
+    mid_broadcast, mid_malleable = [], []
+    k = 0
+    while world.run_events_until(k + 1):
+        k += 1
+        if any(close_time > world.now for close_time, _, _ in sockets._pending):
+            mid_broadcast.append(k)
+        if (rm.resize_shrinks or rm.resize_grows) and any(
+            getattr(proc, "phase", None) == WORK and proc.job.malleable
+            for proc in rm._job_procs.values()
+        ):
+            mid_malleable.append(k)
+    return tuple(mid_broadcast), tuple(mid_malleable)
+
+
+@lru_cache(maxsize=None)
+def straight(seed=SEED):
+    return straight_run(make_config(seed))
+
+
+def assert_split_equivalent(seed, k):
+    expected, _ = straight(seed)
+    snapshot, warm = warm_split_run(make_config(seed), k)
+    assert warm == expected, f"seed={seed} k={k}: warm resume diverged"
+    cold = cold_split_run(snapshot)
+    assert cold == expected, f"seed={seed} k={k}: cold restore diverged"
+
+
+def spread(cuts):
+    """First, middle and last index — the edges plus a deep-in cut."""
+    return sorted({cuts[0], cuts[len(cuts) // 2], cuts[-1]})
+
+
+class TestHostileCutEquivalence:
+    def test_scenario_reaches_both_hostile_states(self):
+        mid_broadcast, mid_malleable = hostile_cuts()
+        assert mid_broadcast, "day must contain in-flight broadcast instants"
+        assert mid_malleable, "day must contain resized-segment instants"
+
+    def test_cuts_mid_broadcast(self):
+        mid_broadcast, _ = hostile_cuts()
+        for k in spread(mid_broadcast):
+            assert_split_equivalent(SEED, k)
+
+    def test_cuts_mid_malleable_segment(self):
+        _, mid_malleable = hostile_cuts()
+        for k in spread(mid_malleable):
+            assert_split_equivalent(SEED, k)
+
+    def test_cut_in_the_intersection(self):
+        # Open connections *and* a retimed segment at once, if the day
+        # ever reaches that state.
+        mid_broadcast, mid_malleable = hostile_cuts()
+        both = sorted(set(mid_broadcast) & set(mid_malleable))
+        if not both:
+            pytest.skip("no instant is simultaneously mid-broadcast and mid-segment")
+        assert_split_equivalent(SEED, both[len(both) // 2])
+
+
+class TestHostileStateIsCaptured:
+    """The snapshot must carry the mid-phase payloads, not skate past them."""
+
+    def test_mid_broadcast_snapshot_carries_open_sockets(self):
+        mid_broadcast, _ = hostile_cuts()
+        world = SimWorld(make_config())
+        world.run_events_until(mid_broadcast[len(mid_broadcast) // 2])
+        snap = capture(world)
+        n_pending, first_close = snap.state["rm"]["master"]["sockets_pending"]
+        assert n_pending > 0
+        assert first_close > snap.sim_now
+
+    def test_mid_malleable_snapshot_carries_work_phase_lifecycles(self):
+        _, mid_malleable = hostile_cuts()
+        world = SimWorld(make_config())
+        world.run_events_until(mid_malleable[len(mid_malleable) // 2])
+        snap = capture(world)
+        lifecycles = snap.state["rm"]["lifecycles"]
+        assert lifecycles, "FSM lifecycles must appear in the state tree"
+        working = [s for s in lifecycles.values() if s["phase"] == "work"]
+        assert working
+        # The work timer is live: the retimed segment end is on the heap.
+        assert all(
+            s["timer"] is not None and not s["timer"]["cancelled"] for s in working
+        )
